@@ -1,0 +1,97 @@
+//! Regenerates the automaton **figures** of the paper as Graphviz DOT files:
+//!
+//! * Fig. 4 — the non-preemptive RAD resource automaton,
+//! * Fig. 5 — the fixed-priority preemptive RAD resource automaton,
+//! * Fig. 6 — the BUS automaton,
+//! * Fig. 7a–d — the periodic/sporadic/jitter environment automata,
+//! * Fig. 8 — the bursty environment automaton,
+//! * Fig. 9 — the measuring observer automaton.
+//!
+//! ```text
+//! cargo run --release -p tempo-bench --bin figures [-- <output-dir>]
+//! ```
+//!
+//! The files are written to `<output-dir>` (default `target/figures`) and can
+//! be rendered with `dot -Tpdf`.
+
+use std::fs;
+use std::path::PathBuf;
+use tempo_arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
+use tempo_arch::model::SchedulingPolicy;
+use tempo_arch::{generate, GeneratorOptions};
+use tempo_ta::dot::automaton_to_dot;
+
+fn write_automaton(
+    dir: &PathBuf,
+    figure: &str,
+    system: &tempo_ta::System,
+    automaton: &str,
+) -> std::io::Result<()> {
+    let idx = system
+        .automaton_by_name(automaton)
+        .unwrap_or_else(|| panic!("automaton {automaton} not generated"));
+    let dot = automaton_to_dot(&system.automata[idx], system);
+    let path = dir.join(format!("{figure}_{automaton}.dot"));
+    fs::write(&path, dot)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/figures".to_string())
+        .into();
+    fs::create_dir_all(&dir)?;
+    let opts = GeneratorOptions::default();
+
+    // Fig. 4: non-preemptive RAD (ChangeVolume + HandleTMC, any column).
+    let params_np = CaseStudyParams::default().with_policy(SchedulingPolicy::NonPreemptiveNd);
+    let model = radio_navigation(
+        ScenarioCombo::ChangeVolumeWithTmc,
+        EventModelColumn::Sporadic,
+        &params_np,
+    );
+    let req = model.requirements[0].clone();
+    let g = generate(&model, Some(&req), &opts).expect("generation succeeds");
+    write_automaton(&dir, "fig4", &g.system, "RAD")?;
+    // Fig. 6: the bus automaton and Fig. 7c: the sporadic environment automata.
+    write_automaton(&dir, "fig6", &g.system, "BUS")?;
+    write_automaton(&dir, "fig7c", &g.system, "env_ChangeVolume")?;
+    write_automaton(&dir, "fig7c", &g.system, "env_HandleTMC")?;
+    // Fig. 9: the measuring observer.
+    write_automaton(&dir, "fig9", &g.system, "observer")?;
+
+    // Fig. 5: preemptive RAD.
+    let params_pre =
+        CaseStudyParams::default().with_policy(SchedulingPolicy::FixedPriorityPreemptive);
+    let model = radio_navigation(
+        ScenarioCombo::ChangeVolumeWithTmc,
+        EventModelColumn::Sporadic,
+        &params_pre,
+    );
+    let g = generate(&model, None, &opts).expect("generation succeeds");
+    write_automaton(&dir, "fig5", &g.system, "RAD")?;
+
+    // Fig. 7a/b: periodic environment automata (with and without offset).
+    for (figure, column) in [
+        ("fig7a", EventModelColumn::PeriodicOffsetZero),
+        ("fig7b", EventModelColumn::PeriodicUnknownOffset),
+    ] {
+        let model = radio_navigation(ScenarioCombo::ChangeVolumeWithTmc, column, &params_pre);
+        let g = generate(&model, None, &opts).expect("generation succeeds");
+        write_automaton(&dir, figure, &g.system, "env_HandleTMC")?;
+    }
+    // Fig. 7d: periodic with jitter, and Fig. 8: bursty radio-station stream.
+    for (figure, column) in [
+        ("fig7d", EventModelColumn::PeriodicJitter),
+        ("fig8", EventModelColumn::Burst),
+    ] {
+        let model = radio_navigation(ScenarioCombo::ChangeVolumeWithTmc, column, &params_pre);
+        let g = generate(&model, None, &opts).expect("generation succeeds");
+        write_automaton(&dir, figure, &g.system, "env_HandleTMC")?;
+    }
+
+    println!("render with: dot -Tpdf <file>.dot -o <file>.pdf");
+    Ok(())
+}

@@ -1,0 +1,195 @@
+//! # tempo-bench — regeneration of the paper's tables and figures
+//!
+//! Binaries (run with `cargo run --release -p tempo-bench --bin <name>`):
+//!
+//! * `table1` — Table 1: WCRT of the five requirements under the five event
+//!   model columns, computed with the timed-automata analysis,
+//! * `table2` — Table 2: comparison of the timed-automata results against the
+//!   POOSL-style simulation, the SymTA/S-style busy-window analysis and the
+//!   MPA/real-time-calculus bounds (all on `pno` event models),
+//! * `figures` — DOT dumps of the generated automata corresponding to
+//!   Figs. 4–9,
+//! * `verification_times` — the Section 4 observations about exploration cost
+//!   per event-model column.
+//!
+//! Criterion benches (run with `cargo bench`): `dbm_ops`, `checker`,
+//! `case_study`, `techniques`.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tempo_arch::casestudy::{
+    radio_navigation, table1_rows, CaseStudyParams, EventModelColumn, ScenarioCombo,
+};
+use tempo_arch::{analyze_requirement, AnalysisConfig, WcrtReport};
+use tempo_check::{SearchOptions, SearchOrder};
+
+/// How a single Table-1 cell should be computed.
+#[derive(Clone, Debug)]
+pub struct CellConfig {
+    /// Maximum number of stored symbolic states before the search is
+    /// truncated and only a lower bound is reported (the paper's `df`/`rdf`
+    /// fallback for the intractable combinations).
+    pub state_budget: Option<usize>,
+    /// Search order used for the exploration.
+    pub order: SearchOrder,
+    /// Queue capacity of the generated model.
+    pub queue_capacity: i64,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig {
+            state_budget: Some(600_000),
+            order: SearchOrder::Bfs,
+            queue_capacity: 8,
+        }
+    }
+}
+
+impl CellConfig {
+    /// The analysis configuration corresponding to this cell configuration.
+    pub fn analysis_config(&self) -> AnalysisConfig {
+        let mut cfg = AnalysisConfig::default();
+        cfg.generator.queue_capacity = self.queue_capacity;
+        cfg.search = SearchOptions {
+            order: self.order,
+            max_states: self.state_budget,
+            truncate_on_limit: true,
+            ..SearchOptions::default()
+        };
+        cfg
+    }
+}
+
+/// One computed Table-1 cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Requirement (row) name.
+    pub requirement: &'static str,
+    /// Event-model column.
+    pub column: EventModelColumn,
+    /// The analysis result.
+    pub report: Result<WcrtReport, String>,
+    /// Wall-clock time spent on the analysis.
+    pub elapsed: std::time::Duration,
+}
+
+impl Cell {
+    /// Formats the cell like the paper: an exact value in milliseconds, or a
+    /// `> bound (df)` lower bound for truncated searches.
+    pub fn formatted(&self) -> String {
+        match &self.report {
+            Ok(r) => match r.wcrt_ms() {
+                Some(ms) => format!("{ms:.3}"),
+                None => match r.lower_bound {
+                    Some(lb) => format!("> {:.3} (df)", lb.as_millis_f64()),
+                    None => "n/a".to_string(),
+                },
+            },
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+/// Computes one Table-1 cell.
+pub fn table1_cell(
+    requirement: &'static str,
+    combo: ScenarioCombo,
+    column: EventModelColumn,
+    params: &CaseStudyParams,
+    cell_cfg: &CellConfig,
+) -> Cell {
+    let model = radio_navigation(combo, column, params);
+    let start = std::time::Instant::now();
+    let report =
+        analyze_requirement(&model, requirement, &cell_cfg.analysis_config()).map_err(|e| e.to_string());
+    Cell {
+        requirement,
+        column,
+        report,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Computes a whole Table-1 column for every requirement row.
+pub fn table1_column(
+    column: EventModelColumn,
+    params: &CaseStudyParams,
+    cell_cfg: &CellConfig,
+) -> Vec<Cell> {
+    table1_rows()
+        .into_iter()
+        .map(|(req, combo)| table1_cell(req, combo, column, params, cell_cfg))
+        .collect()
+}
+
+/// A scaled-down variant of the case-study parameters used by the `--quick`
+/// modes and by the criterion benches: the user streams are slowed down by
+/// `factor`, which shrinks the zone graph while keeping the structure (and the
+/// qualitative orderings) intact.
+pub fn quick_params(factor: u64) -> CaseStudyParams {
+    let mut p = CaseStudyParams::default();
+    p.volume_period = p.volume_period * factor as i128;
+    p.lookup_period = p.lookup_period * factor as i128;
+    p
+}
+
+/// Prints a table of rows × columns in a compact aligned layout.
+pub fn print_table(title: &str, header: &[String], rows: &[(String, Vec<String>)]) {
+    println!("{title}");
+    let width = 40;
+    print!("{:width$}", "Requirement");
+    for h in header {
+        print!(" | {h:>22}");
+    }
+    println!();
+    println!("{}", "-".repeat(width + header.len() * 25));
+    for (name, cells) in rows {
+        print!("{name:width$}");
+        for c in cells {
+            print!(" | {c:>22}");
+        }
+        println!();
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_params_scale_user_streams() {
+        let p = quick_params(8);
+        let d = CaseStudyParams::default();
+        assert_eq!(p.volume_period, d.volume_period * 8);
+        assert_eq!(p.lookup_period, d.lookup_period * 8);
+        assert_eq!(p.tmc_period, d.tmc_period);
+    }
+
+    #[test]
+    fn cell_config_produces_truncating_search() {
+        let cfg = CellConfig::default().analysis_config();
+        assert!(cfg.search.truncate_on_limit);
+        assert_eq!(cfg.search.max_states, Some(600_000));
+    }
+
+    #[test]
+    fn quick_table1_cell_is_exact_and_fast() {
+        // With slowed-down user streams the AddressLookup row is small.
+        let cell = table1_cell(
+            "AddressLookup (+ HandleTMC)",
+            ScenarioCombo::AddressLookupWithTmc,
+            EventModelColumn::Sporadic,
+            &quick_params(4),
+            &CellConfig::default(),
+        );
+        let report = cell.report.clone().expect("analysis succeeds");
+        assert!(report.wcrt.is_some());
+        // The bound must cover at least the sum of the service times on the
+        // uncontended path (~83 ms) and stay below the 200 ms deadline.
+        let ms = report.wcrt_ms().unwrap();
+        assert!(ms > 80.0 && ms < 200.0, "{ms}");
+        assert!(!cell.formatted().contains("error"));
+    }
+}

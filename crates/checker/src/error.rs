@@ -1,0 +1,83 @@
+//! Errors produced by the checker.
+
+use std::fmt;
+use tempo_ta::{EvalError, ValidationError};
+
+/// Any error that can abort an exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// The system failed static validation.
+    Validation(ValidationError),
+    /// Expression evaluation failed (variable range violation, division by
+    /// zero) while computing successors.
+    Eval(EvalError),
+    /// The model uses a feature combination the checker does not support:
+    /// clock guards on edges synchronizing over an urgent channel.
+    ClockGuardOnUrgentEdge {
+        /// Automaton name.
+        automaton: String,
+        /// Edge index within the automaton.
+        edge: usize,
+    },
+    /// The exploration exceeded the configured state limit.
+    StateLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A query referenced an unknown automaton or location name.
+    UnknownQueryEntity {
+        /// Description of what could not be resolved.
+        what: String,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Validation(e) => write!(f, "invalid system: {e}"),
+            CheckError::Eval(e) => write!(f, "evaluation error during exploration: {e}"),
+            CheckError::ClockGuardOnUrgentEdge { automaton, edge } => write!(
+                f,
+                "edge {edge} of `{automaton}` synchronizes on an urgent channel but has a clock guard"
+            ),
+            CheckError::StateLimitExceeded { limit } => {
+                write!(f, "exploration exceeded the state limit of {limit}")
+            }
+            CheckError::UnknownQueryEntity { what } => {
+                write!(f, "query references unknown entity: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<EvalError> for CheckError {
+    fn from(e: EvalError) -> Self {
+        CheckError::Eval(e)
+    }
+}
+
+impl From<ValidationError> for CheckError {
+    fn from(e: ValidationError) -> Self {
+        CheckError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = CheckError::StateLimitExceeded { limit: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = CheckError::ClockGuardOnUrgentEdge {
+            automaton: "BUS".into(),
+            edge: 3,
+        };
+        assert!(e.to_string().contains("BUS"));
+        let e: CheckError = EvalError::DivisionByZero.into();
+        assert!(matches!(e, CheckError::Eval(_)));
+    }
+}

@@ -1,0 +1,477 @@
+//! The reachability engine: passed/waiting list exploration of the zone graph.
+
+use crate::error::CheckError;
+use crate::state::{DiscreteState, SymState};
+use crate::successor::{ActionLabel, SuccessorGen};
+use crate::target::TargetSpec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+use tempo_dbm::Dbm;
+use tempo_ta::{ClockId, System};
+
+/// Exploration order of the waiting list, corresponding to UPPAAL's
+/// breadth-first, depth-first and random-depth-first options (the paper uses
+/// `df` and `rdf` to obtain lower bounds on the WCRT for the intractable
+/// event-model combinations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SearchOrder {
+    /// Breadth-first search (default; finds shortest diagnostic traces).
+    #[default]
+    Bfs,
+    /// Depth-first search.
+    Dfs,
+    /// Depth-first search with randomly shuffled successor order.
+    RandomDfs,
+}
+
+/// Options controlling an exploration.
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    /// Search order.
+    pub order: SearchOrder,
+    /// RNG seed used by [`SearchOrder::RandomDfs`].
+    pub seed: u64,
+    /// Whether to apply maximum-bounds extrapolation (disable only for
+    /// debugging; exploration may then diverge).
+    pub extrapolate: bool,
+    /// Abort the exploration after this many stored states.
+    pub max_states: Option<usize>,
+    /// When the state limit is reached, stop gracefully and mark the
+    /// statistics as truncated instead of returning an error.  Truncated
+    /// explorations yield *lower bounds* on suprema (the paper's `df`/`rdf`
+    /// "structured testing" usage).
+    pub truncate_on_limit: bool,
+    /// Additional per-clock constants merged into the extrapolation bounds
+    /// (e.g. query constants).
+    pub extra_clock_constants: Vec<(ClockId, i64)>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            order: SearchOrder::Bfs,
+            seed: 0x7e4d0,
+            extrapolate: true,
+            max_states: None,
+            truncate_on_limit: false,
+            extra_clock_constants: Vec::new(),
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Convenience constructor selecting a search order.
+    pub fn with_order(order: SearchOrder) -> SearchOptions {
+        SearchOptions {
+            order,
+            ..SearchOptions::default()
+        }
+    }
+}
+
+/// Statistics about one exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationStats {
+    /// Symbolic states popped from the waiting list and expanded.
+    pub states_explored: usize,
+    /// Symbolic states stored in the passed/waiting structure (after
+    /// inclusion subsumption).
+    pub states_stored: usize,
+    /// Zone-graph transitions computed.
+    pub transitions: usize,
+    /// Wall-clock duration of the exploration.
+    pub duration: Duration,
+    /// `true` if the exploration stopped because of the state limit.
+    pub truncated: bool,
+}
+
+/// One step of a diagnostic trace.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// The action taken to reach this state (`None` for the initial state).
+    pub action: Option<String>,
+    /// Pretty-printed discrete state.
+    pub state: String,
+    /// Pretty-printed zone.
+    pub zone: String,
+}
+
+/// Result of a reachability query.
+#[derive(Clone, Debug)]
+pub struct ReachReport {
+    /// Whether a state satisfying the target was reached.
+    pub reachable: bool,
+    /// A diagnostic trace to the target, if reachable.
+    pub trace: Option<Vec<TraceStep>>,
+    /// Exploration statistics.
+    pub stats: ExplorationStats,
+}
+
+struct Node {
+    state: SymState,
+    parent: Option<usize>,
+    action: Option<ActionLabel>,
+}
+
+/// The model checker façade: owns the system reference and the search options
+/// and exposes the reachability / safety / WCRT queries.
+pub struct Explorer<'s> {
+    sys: &'s System,
+    opts: SearchOptions,
+}
+
+impl<'s> Explorer<'s> {
+    /// Creates an explorer after validating the system.
+    pub fn new(sys: &'s System, opts: SearchOptions) -> Result<Explorer<'s>, CheckError> {
+        // Constructing a generator performs validation and feature checks.
+        SuccessorGen::new(sys, &opts.extra_clock_constants, opts.extrapolate)?;
+        Ok(Explorer { sys, opts })
+    }
+
+    /// The system under analysis.
+    pub fn system(&self) -> &'s System {
+        self.sys
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &SearchOptions {
+        &self.opts
+    }
+
+    /// Runs the core exploration loop.
+    ///
+    /// * `target`: stop (reporting reachability) as soon as a state matching
+    ///   the target is found; `None` explores the full reachable zone graph.
+    /// * `extra_consts`: additional extrapolation constants for this query.
+    /// * `visit`: called once for every state popped from the waiting list.
+    pub(crate) fn run<F: FnMut(&SymState)>(
+        &self,
+        target: Option<&TargetSpec>,
+        extra_consts: &[(ClockId, i64)],
+        mut visit: F,
+    ) -> Result<(Option<Vec<TraceStep>>, bool, ExplorationStats), CheckError> {
+        let start = Instant::now();
+        let mut all_consts = self.opts.extra_clock_constants.clone();
+        all_consts.extend_from_slice(extra_consts);
+        let gen = SuccessorGen::new(self.sys, &all_consts, self.opts.extrapolate)?;
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+
+        let mut stats = ExplorationStats::default();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut passed: HashMap<DiscreteState, Vec<Dbm>> = HashMap::new();
+        let mut waiting: VecDeque<usize> = VecDeque::new();
+
+        let init = gen.initial_state()?;
+        if init.zone.is_empty() {
+            // Inconsistent initial invariants: nothing is reachable.
+            stats.duration = start.elapsed();
+            return Ok((None, false, stats));
+        }
+        passed
+            .entry(init.discrete.clone())
+            .or_default()
+            .push(init.zone.clone());
+        nodes.push(Node {
+            state: init,
+            parent: None,
+            action: None,
+        });
+        waiting.push_back(0);
+        stats.states_stored = 1;
+
+        let mut found: Option<usize> = None;
+        'search: while let Some(idx) = match self.opts.order {
+            SearchOrder::Bfs => waiting.pop_front(),
+            SearchOrder::Dfs | SearchOrder::RandomDfs => waiting.pop_back(),
+        } {
+            let state = nodes[idx].state.clone();
+            stats.states_explored += 1;
+            visit(&state);
+            if let Some(t) = target {
+                if t.matches(&state)? {
+                    found = Some(idx);
+                    break;
+                }
+            }
+            let mut succs = gen.successors(&state)?;
+            stats.transitions += succs.len();
+            if self.opts.order == SearchOrder::RandomDfs {
+                succs.shuffle(&mut rng);
+            }
+            for (succ, action) in succs {
+                if succ.zone.is_empty() {
+                    continue;
+                }
+                let zones = passed.entry(succ.discrete.clone()).or_default();
+                if zones.iter().any(|z| z.includes(&succ.zone)) {
+                    continue;
+                }
+                // Drop stored zones now subsumed by the new one.
+                zones.retain(|z| !succ.zone.includes(z));
+                zones.push(succ.zone.clone());
+                let node_idx = nodes.len();
+                nodes.push(Node {
+                    state: succ,
+                    parent: Some(idx),
+                    action: Some(action),
+                });
+                waiting.push_back(node_idx);
+                stats.states_stored += 1;
+                if let Some(limit) = self.opts.max_states {
+                    if stats.states_stored > limit {
+                        if self.opts.truncate_on_limit {
+                            stats.truncated = true;
+                        } else {
+                            return Err(CheckError::StateLimitExceeded { limit });
+                        }
+                    }
+                }
+            }
+            if stats.truncated {
+                break 'search;
+            }
+        }
+
+        stats.duration = start.elapsed();
+        let trace = found.map(|mut idx| {
+            let mut rev = Vec::new();
+            loop {
+                let node = &nodes[idx];
+                rev.push(TraceStep {
+                    action: node.action.as_ref().map(|a| a.pretty(self.sys)),
+                    state: node.state.discrete.pretty(self.sys),
+                    zone: node.state.zone.to_string(),
+                });
+                match node.parent {
+                    Some(p) => idx = p,
+                    None => break,
+                }
+            }
+            rev.reverse();
+            rev
+        });
+        Ok((trace, found.is_some(), stats))
+    }
+
+    /// `EF target`: is a state matching the target reachable?
+    pub fn check_reachable(&self, target: &TargetSpec) -> Result<ReachReport, CheckError> {
+        let consts = target.clock_constants(self.sys);
+        let (trace, reachable, stats) = self.run(Some(target), &consts, |_| {})?;
+        Ok(ReachReport {
+            reachable,
+            trace,
+            stats,
+        })
+    }
+
+    /// `AG ¬bad`: does every reachable state avoid the given bad set?
+    ///
+    /// Returns the same report as [`Explorer::check_reachable`]; the property
+    /// *holds* iff `report.reachable` is `false`, and the trace (if any) is a
+    /// counterexample.
+    pub fn check_safety(&self, bad: &TargetSpec) -> Result<ReachReport, CheckError> {
+        self.check_reachable(bad)
+    }
+
+    /// Explores the entire reachable zone graph, invoking `visit` on every
+    /// expanded state, and returns the exploration statistics.
+    pub fn explore<F: FnMut(&SymState)>(&self, visit: F) -> Result<ExplorationStats, CheckError> {
+        let (_, _, stats) = self.run(None, &[], visit)?;
+        Ok(stats)
+    }
+
+    /// Number of stored symbolic states of the full reachable zone graph.
+    pub fn state_space_size(&self) -> Result<usize, CheckError> {
+        Ok(self.explore(|_| {})?.states_stored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ta::{ChannelKind, ClockRef, Sync, SystemBuilder, Update, VarExprExt};
+
+    /// Classic two-process mutual exclusion *without* any protection: both
+    /// processes can be in the critical section at once, and the checker must
+    /// find that.
+    fn unprotected_mutex() -> System {
+        let mut sb = SystemBuilder::new("mutex");
+        let _x = sb.add_clock("x");
+        for name in ["p1", "p2"] {
+            let mut p = sb.automaton(name);
+            let idle = p.location("idle").add();
+            let cs = p.location("cs").add();
+            p.edge(idle, cs).add();
+            p.edge(cs, idle).add();
+            p.set_initial(idle);
+            p.build();
+        }
+        sb.build()
+    }
+
+    #[test]
+    fn finds_interleaving_violation() {
+        let sys = unprotected_mutex();
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let both = TargetSpec::location(&sys, "p1", "cs")
+            .unwrap()
+            .and_location(&sys, "p2", "cs")
+            .unwrap();
+        let report = ex.check_reachable(&both).unwrap();
+        assert!(report.reachable);
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.len(), 3); // init, p1 -> cs, p2 -> cs (in some order)
+        assert!(trace[0].action.is_none());
+        assert!(trace.last().unwrap().state.contains("cs"));
+    }
+
+    /// Time-bounded reachability: the target needs at least 15 time units of
+    /// accumulated delay, which the invariants/guards enforce.
+    fn three_step_pipeline() -> System {
+        let mut sb = SystemBuilder::new("pipeline");
+        let x = sb.add_clock("x");
+        let total = sb.add_clock("t");
+        let mut a = sb.automaton("stage");
+        let s0 = a.location("s0").invariant(x.le(5)).add();
+        let s1 = a.location("s1").invariant(x.le(4)).add();
+        let s2 = a.location("s2").invariant(x.le(6)).add();
+        let done = a.location("done").add();
+        a.edge(s0, s1).guard_clock(x.eq_(5)).reset(x).add();
+        a.edge(s1, s2).guard_clock(x.eq_(4)).reset(x).add();
+        a.edge(s2, done).guard_clock(x.eq_(6)).reset(x).add();
+        a.set_initial(s0);
+        a.build();
+        let _ = total;
+        sb.build()
+    }
+
+    #[test]
+    fn accumulated_delay_visible_on_total_clock() {
+        let sys = three_step_pipeline();
+        let t = sys.clock_by_name("t").unwrap();
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        // done is reachable...
+        let done = TargetSpec::location(&sys, "stage", "done").unwrap();
+        assert!(ex.check_reachable(&done).unwrap().reachable);
+        // ...and exactly at t == 15, never earlier.
+        let early = TargetSpec::location(&sys, "stage", "done")
+            .unwrap()
+            .with_clock_constraint(t.lt(15));
+        assert!(!ex.check_reachable(&early).unwrap().reachable);
+        let exact = TargetSpec::location(&sys, "stage", "done")
+            .unwrap()
+            .with_clock_constraint(t.ge(15));
+        assert!(ex.check_reachable(&exact).unwrap().reachable);
+    }
+
+    #[test]
+    fn search_orders_agree_on_reachability() {
+        let sys = three_step_pipeline();
+        let t = sys.clock_by_name("t").unwrap();
+        for order in [SearchOrder::Bfs, SearchOrder::Dfs, SearchOrder::RandomDfs] {
+            let ex = Explorer::new(&sys, SearchOptions::with_order(order)).unwrap();
+            let early = TargetSpec::location(&sys, "stage", "done")
+                .unwrap()
+                .with_clock_constraint(t.lt(15));
+            assert!(!ex.check_reachable(&early).unwrap().reachable, "{order:?}");
+            let ok = TargetSpec::location(&sys, "stage", "done").unwrap();
+            assert!(ex.check_reachable(&ok).unwrap().reachable, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let sys = unprotected_mutex();
+        let opts = SearchOptions {
+            max_states: Some(2),
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let err = ex.state_space_size().unwrap_err();
+        assert!(matches!(err, CheckError::StateLimitExceeded { limit: 2 }));
+    }
+
+    #[test]
+    fn truncation_yields_partial_exploration_without_error() {
+        let sys = unprotected_mutex();
+        let opts = SearchOptions {
+            max_states: Some(2),
+            truncate_on_limit: true,
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let stats = ex.explore(|_| {}).unwrap();
+        assert!(stats.truncated);
+        assert!(stats.states_stored <= 4);
+    }
+
+    #[test]
+    fn full_exploration_counts_states() {
+        let sys = unprotected_mutex();
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        // 2 automata with 2 locations each, no clocks constraining anything:
+        // exactly 4 discrete states.
+        assert_eq!(ex.state_space_size().unwrap(), 4);
+        let stats = ex.explore(|_| {}).unwrap();
+        assert_eq!(stats.states_explored, 4);
+        assert!(!stats.truncated);
+        assert!(stats.transitions >= 4);
+    }
+
+    /// A producer/consumer over an urgent channel: the consumer must process
+    /// greedily, so the queue (counter) never exceeds 1 when production is
+    /// slower than consumption.
+    #[test]
+    fn greedy_consumption_bounds_queue() {
+        let mut sb = SystemBuilder::new("queue");
+        let xp = sb.add_clock("xp");
+        let xc = sb.add_clock("xc");
+        let queued = sb.add_var("queued", 0, 10, 0);
+        let hurry = sb.add_channel("hurry", ChannelKind::Urgent);
+
+        let mut listener = sb.automaton("listener");
+        let l0 = listener.location("idle").add();
+        listener.edge(l0, l0).sync(Sync::recv(hurry)).add();
+        listener.set_initial(l0);
+        listener.build();
+
+        let mut producer = sb.automaton("producer");
+        let p0 = producer.location("p0").invariant(xp.le(10)).add();
+        producer
+            .edge(p0, p0)
+            .guard_clock(xp.eq_(10))
+            .update(Update::add(queued, 1))
+            .reset(xp)
+            .add();
+        producer.set_initial(p0);
+        producer.build();
+
+        let mut consumer = sb.automaton("consumer");
+        let idle = consumer.location("idle").add();
+        let busy = consumer.location("busy").invariant(xc.le(3)).add();
+        consumer
+            .edge(idle, busy)
+            .guard(queued.gt_(0))
+            .sync(Sync::send(hurry))
+            .update(Update::add(queued, -1))
+            .reset(xc)
+            .add();
+        consumer.edge(busy, idle).guard_clock(xc.eq_(3)).add();
+        consumer.set_initial(idle);
+        consumer.build();
+
+        let sys = sb.build();
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        // The queue can never hold 2 items: consumption (3) is faster than
+        // production (10) and service is greedy.
+        let overflow = TargetSpec::any().with_int_guard(queued.ge_(2));
+        let report = ex.check_safety(&overflow).unwrap();
+        assert!(!report.reachable, "queue overflowed: {:?}", report.trace);
+        // But a single queued item is of course reachable (briefly).
+        let one = TargetSpec::any().with_int_guard(queued.ge_(1));
+        assert!(ex.check_reachable(&one).unwrap().reachable);
+    }
+}

@@ -1,0 +1,618 @@
+//! Multi-threaded exploration of the zone graph.
+//!
+//! The sequential [`Explorer`](crate::Explorer) is sufficient for the paper's
+//! case study, but the combination of a 31.25 ms user period with a 3 s radio
+//! station period produces zone graphs with millions of symbolic states (the
+//! paper's `pj`/`bur` columns).  This module parallelises the forward
+//! reachability loop over a pool of worker threads:
+//!
+//! * the *passed* list is sharded over a fixed number of
+//!   [`parking_lot::Mutex`]-protected hash maps keyed by discrete state, so
+//!   that inclusion subsumption remains a per-discrete-state critical section,
+//! * the *waiting* list is a [`crossbeam::deque::Injector`] shared by all
+//!   workers,
+//! * termination uses an in-flight counter: every state pushed to the queue
+//!   increments it and it is decremented only after the state's successors
+//!   have been pushed, so the counter reaching zero implies both an empty
+//!   queue and idle workers.
+//!
+//! The parallel variants return the same verdicts and the same suprema as the
+//! sequential ones (checked by the tests below); the exact number of *stored*
+//! states may differ slightly because subsumption depends on the order in
+//! which zones are discovered.  Diagnostic traces are not reconstructed in
+//! parallel mode.
+
+use crate::error::CheckError;
+use crate::explorer::{ExplorationStats, Explorer, ReachReport};
+use crate::state::{DiscreteState, SymState};
+use crate::successor::SuccessorGen;
+use crate::target::TargetSpec;
+use crate::wcrt::SupReport;
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+use tempo_dbm::{Bound, Dbm};
+use tempo_ta::ClockId;
+
+/// Options controlling a parallel exploration.
+#[derive(Clone, Debug)]
+pub struct ParallelOptions {
+    /// Number of worker threads.  `0` selects the available parallelism of
+    /// the machine.
+    pub workers: usize,
+    /// Number of shards of the passed list.  More shards reduce lock
+    /// contention at the cost of memory; the default (4× the worker count,
+    /// minimum 16) is adequate for the models in this repository.
+    pub shards: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            workers: 0,
+            shards: 0,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Convenience constructor fixing the worker count.
+    pub fn with_workers(workers: usize) -> ParallelOptions {
+        ParallelOptions {
+            workers,
+            shards: 0,
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    fn resolved_shards(&self, workers: usize) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            (workers * 4).max(16)
+        }
+    }
+}
+
+/// The sharded passed list.  Each shard owns a map from discrete state to the
+/// antichain (w.r.t. zone inclusion) of zones stored for it.
+struct SharedPassed {
+    shards: Vec<Mutex<HashMap<DiscreteState, Vec<Dbm>>>>,
+    stored: AtomicUsize,
+}
+
+impl SharedPassed {
+    fn new(shards: usize) -> SharedPassed {
+        SharedPassed {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            stored: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(&self, discrete: &DiscreteState) -> usize {
+        let mut h = DefaultHasher::new();
+        discrete.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Inserts the state unless an already-stored zone of the same discrete
+    /// state includes it.  Returns `true` when the state was inserted (and
+    /// therefore must be expanded).
+    fn insert(&self, state: &SymState) -> bool {
+        let mut map = self.shards[self.shard_of(&state.discrete)].lock();
+        let zones = map.entry(state.discrete.clone()).or_default();
+        if zones.iter().any(|z| z.includes(&state.zone)) {
+            return false;
+        }
+        let removed = {
+            let before = zones.len();
+            zones.retain(|z| !state.zone.includes(z));
+            before - zones.len()
+        };
+        zones.push(state.zone.clone());
+        // `removed` zones leave the store, one enters: net change 1 - removed.
+        if removed > 0 {
+            self.stored.fetch_sub(removed - 1, Ordering::Relaxed);
+        } else {
+            self.stored.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    fn stored(&self) -> usize {
+        self.stored.load(Ordering::Relaxed)
+    }
+}
+
+struct WorkerOutcome {
+    explored: usize,
+    transitions: usize,
+    error: Option<CheckError>,
+}
+
+impl<'s> Explorer<'s> {
+    /// Runs the parallel exploration loop.
+    ///
+    /// * `target`: when given, the exploration stops as soon as any worker
+    ///   pops a state matching it;
+    /// * `visit`: called (from worker threads) on every state popped for
+    ///   expansion;
+    /// * returns whether the target was found plus the aggregated statistics.
+    fn par_run(
+        &self,
+        target: Option<&TargetSpec>,
+        extra_consts: &[(ClockId, i64)],
+        visit: &(dyn Fn(&SymState) + Sync),
+        par: &ParallelOptions,
+    ) -> Result<(bool, ExplorationStats), CheckError> {
+        let start = Instant::now();
+        let opts = self.options();
+        let mut all_consts = opts.extra_clock_constants.clone();
+        all_consts.extend_from_slice(extra_consts);
+        let sys = self.system();
+        let workers = par.resolved_workers();
+        let shards = par.resolved_shards(workers);
+
+        // Validate once up front so worker threads can assume a well-formed
+        // system (their own `SuccessorGen::new` construction is then cheap).
+        let gen0 = SuccessorGen::new(sys, &all_consts, opts.extrapolate)?;
+        let init = gen0.initial_state()?;
+
+        let mut stats = ExplorationStats::default();
+        if init.zone.is_empty() {
+            stats.duration = start.elapsed();
+            return Ok((false, stats));
+        }
+
+        let passed = SharedPassed::new(shards);
+        let queue: Injector<SymState> = Injector::new();
+        let pending = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let found = AtomicBool::new(false);
+        let truncated = AtomicBool::new(false);
+        let limit_exceeded = AtomicBool::new(false);
+
+        passed.insert(&init);
+        pending.fetch_add(1, Ordering::SeqCst);
+        queue.push(init);
+
+        let max_states = opts.max_states;
+        let truncate_on_limit = opts.truncate_on_limit;
+
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let queue = &queue;
+                let passed = &passed;
+                let pending = &pending;
+                let stop = &stop;
+                let found = &found;
+                let truncated = &truncated;
+                let limit_exceeded = &limit_exceeded;
+                let all_consts = &all_consts;
+                handles.push(scope.spawn(move || {
+                    let mut outcome = WorkerOutcome {
+                        explored: 0,
+                        transitions: 0,
+                        error: None,
+                    };
+                    let gen = match SuccessorGen::new(sys, all_consts, opts.extrapolate) {
+                        Ok(g) => g,
+                        Err(e) => {
+                            outcome.error = Some(e);
+                            stop.store(true, Ordering::SeqCst);
+                            return outcome;
+                        }
+                    };
+                    loop {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let state = match queue.steal() {
+                            Steal::Success(s) => s,
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                if pending.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                                continue;
+                            }
+                        };
+                        outcome.explored += 1;
+                        visit(&state);
+                        if let Some(t) = target {
+                            match t.matches(&state) {
+                                Ok(true) => {
+                                    found.store(true, Ordering::SeqCst);
+                                    stop.store(true, Ordering::SeqCst);
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                    break;
+                                }
+                                Ok(false) => {}
+                                Err(e) => {
+                                    outcome.error = Some(e.into());
+                                    stop.store(true, Ordering::SeqCst);
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                    break;
+                                }
+                            }
+                        }
+                        match gen.successors(&state) {
+                            Ok(succs) => {
+                                outcome.transitions += succs.len();
+                                for (succ, _action) in succs {
+                                    if succ.zone.is_empty() {
+                                        continue;
+                                    }
+                                    if !passed.insert(&succ) {
+                                        continue;
+                                    }
+                                    if let Some(limit) = max_states {
+                                        if passed.stored() > limit {
+                                            if truncate_on_limit {
+                                                truncated.store(true, Ordering::SeqCst);
+                                            } else {
+                                                limit_exceeded.store(true, Ordering::SeqCst);
+                                            }
+                                            stop.store(true, Ordering::SeqCst);
+                                        }
+                                    }
+                                    pending.fetch_add(1, Ordering::SeqCst);
+                                    queue.push(succ);
+                                }
+                            }
+                            Err(e) => {
+                                outcome.error = Some(e);
+                                stop.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        pending.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    outcome
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        for outcome in &outcomes {
+            stats.states_explored += outcome.explored;
+            stats.transitions += outcome.transitions;
+        }
+        stats.states_stored = passed.stored();
+        stats.truncated = truncated.load(Ordering::SeqCst);
+        stats.duration = start.elapsed();
+
+        if let Some(outcome) = outcomes.into_iter().find(|o| o.error.is_some()) {
+            return Err(outcome.error.expect("filtered on is_some"));
+        }
+        if limit_exceeded.load(Ordering::SeqCst) {
+            return Err(CheckError::StateLimitExceeded {
+                limit: max_states.unwrap_or(0),
+            });
+        }
+        Ok((found.load(Ordering::SeqCst), stats))
+    }
+
+    /// Parallel variant of [`Explorer::check_reachable`].
+    ///
+    /// The verdict and statistics are equivalent to the sequential query;
+    /// diagnostic traces are not produced (`trace` is always `None`).
+    pub fn par_check_reachable(
+        &self,
+        target: &TargetSpec,
+        par: &ParallelOptions,
+    ) -> Result<ReachReport, CheckError> {
+        let consts = target.clock_constants(self.system());
+        let (reachable, stats) = self.par_run(Some(target), &consts, &|_| {}, par)?;
+        Ok(ReachReport {
+            reachable,
+            trace: None,
+            stats,
+        })
+    }
+
+    /// Parallel variant of [`Explorer::check_safety`]: the property `AG ¬bad`
+    /// holds iff the returned report's `reachable` field is `false`.
+    pub fn par_check_safety(
+        &self,
+        bad: &TargetSpec,
+        par: &ParallelOptions,
+    ) -> Result<ReachReport, CheckError> {
+        self.par_check_reachable(bad, par)
+    }
+
+    /// Parallel variant of [`Explorer::explore`]: expands the full reachable
+    /// zone graph, invoking `visit` (from worker threads) on every expanded
+    /// state.
+    pub fn par_explore(
+        &self,
+        visit: &(dyn Fn(&SymState) + Sync),
+        par: &ParallelOptions,
+    ) -> Result<ExplorationStats, CheckError> {
+        let (_, stats) = self.par_run(None, &[], visit, par)?;
+        Ok(stats)
+    }
+
+    /// Parallel variant of [`Explorer::state_space_size`].
+    pub fn par_state_space_size(&self, par: &ParallelOptions) -> Result<usize, CheckError> {
+        Ok(self.par_explore(&|_| {}, par)?.states_stored)
+    }
+
+    /// Parallel variant of [`Explorer::sup_clock_at`]: computes
+    /// `sup { clock | reachable state matching target }` using all workers.
+    pub fn par_sup_clock_at(
+        &self,
+        target: &TargetSpec,
+        clock: ClockId,
+        cap: i64,
+        par: &ParallelOptions,
+    ) -> Result<SupReport, CheckError> {
+        let mut extra = target.clock_constants(self.system());
+        extra.push((clock, cap));
+        let dbm_clock = clock.dbm_clock();
+        let acc: Mutex<(Option<Bound>, bool, Option<CheckError>)> = Mutex::new((None, false, None));
+        let visit = |state: &SymState| {
+            match target.matches(state) {
+                Ok(true) => {
+                    let b = state.zone.sup(dbm_clock);
+                    let mut guard = acc.lock();
+                    guard.0 = Some(match guard.0 {
+                        Some(s) => s.max(b),
+                        None => b,
+                    });
+                    guard.1 = true;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    let mut guard = acc.lock();
+                    if guard.2.is_none() {
+                        guard.2 = Some(e.into());
+                    }
+                }
+            }
+        };
+        let (_, stats) = self.par_run(None, &extra, &visit, par)?;
+        let (sup, matched, error) = acc.into_inner();
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let sup = if matched { sup } else { None };
+        let cap_hit = match sup {
+            Some(b) if b.is_infinity() => true,
+            Some(b) => b.constant() >= cap,
+            None => false,
+        };
+        Ok(SupReport {
+            sup,
+            cap_hit,
+            cap,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{SearchOptions, SearchOrder};
+    use std::collections::HashSet;
+    use tempo_ta::{ChannelKind, ClockRef, Sync as TaSync, System, SystemBuilder, Update, VarExprExt};
+
+    /// A network with genuine interleaving: N workers that each cycle through
+    /// three timed phases and a shared counter bounded by a semaphore-style
+    /// guard.  Small enough to explore exhaustively, large enough that the
+    /// parallel explorer actually distributes work.
+    fn worker_pool(n: usize) -> System {
+        let mut sb = SystemBuilder::new("pool");
+        let busy = sb.add_var("busy", 0, 8, 0);
+        let mut clocks = Vec::new();
+        for i in 0..n {
+            clocks.push(sb.add_clock(format!("x{i}")));
+        }
+        for i in 0..n {
+            let x = clocks[i];
+            let mut a = sb.automaton(format!("w{i}"));
+            let idle = a.location("idle").add();
+            let run = a.location("run").invariant(x.le(3 + i as i64)).add();
+            let cool = a.location("cool").invariant(x.le(2)).add();
+            a.edge(idle, run)
+                .guard(busy.lt_(2))
+                .update(Update::add(busy, 1))
+                .reset(x)
+                .add();
+            a.edge(run, cool)
+                .guard_clock(x.ge(1))
+                .update(Update::add(busy, -1))
+                .reset(x)
+                .add();
+            a.edge(cool, idle).guard_clock(x.eq_(2)).add();
+            a.set_initial(idle);
+            a.build();
+        }
+        sb.build()
+    }
+
+    /// A job pipeline with an observer clock captured in a committed location,
+    /// mirroring the WCRT measurement pattern.
+    fn observed_pipeline() -> System {
+        let mut sb = SystemBuilder::new("obs");
+        let x = sb.add_clock("x");
+        let y = sb.add_clock("y");
+        let done_ch = sb.add_channel("done", ChannelKind::Binary);
+        let mut job = sb.automaton("job");
+        let s0 = job.location("s0").invariant(x.le(4)).add();
+        let s1 = job.location("s1").invariant(x.le(9)).add();
+        let fin = job.location("fin").add();
+        job.edge(s0, s1).guard_clock(x.ge(2)).reset(x).add();
+        job.edge(s1, fin)
+            .guard_clock(x.ge(3))
+            .sync(TaSync::send(done_ch))
+            .add();
+        job.set_initial(s0);
+        job.build();
+        let mut obs = sb.automaton("obs");
+        let wait = obs.location("wait").add();
+        let seen = obs.location("seen").committed(true).add();
+        let end = obs.location("end").add();
+        obs.edge(wait, seen).sync(TaSync::recv(done_ch)).add();
+        obs.edge(seen, end).add();
+        obs.set_initial(wait);
+        obs.build();
+        let _ = y;
+        sb.build()
+    }
+
+    #[test]
+    fn parallel_reachability_matches_sequential() {
+        let sys = worker_pool(3);
+        let seq = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let busy = sys.var_by_name("busy").unwrap();
+        // busy == 2 is reachable, busy == 3 is not (semaphore guard).
+        let two = TargetSpec::any().with_int_guard(busy.ge_(2));
+        let three = TargetSpec::any().with_int_guard(busy.ge_(3));
+        let seq_two = seq.check_reachable(&two).unwrap().reachable;
+        let seq_three = seq.check_reachable(&three).unwrap().reachable;
+        assert!(seq_two);
+        assert!(!seq_three);
+        for workers in [1, 2, 4] {
+            let par = ParallelOptions::with_workers(workers);
+            assert_eq!(
+                seq.par_check_reachable(&two, &par).unwrap().reachable,
+                seq_two,
+                "workers={workers}"
+            );
+            assert_eq!(
+                seq.par_check_reachable(&three, &par).unwrap().reachable,
+                seq_three,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_explore_covers_the_same_discrete_states() {
+        let sys = worker_pool(3);
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let mut seq_states: HashSet<String> = HashSet::new();
+        ex.explore(|s| {
+            seq_states.insert(s.discrete.pretty(&sys));
+        })
+        .unwrap();
+        let par_states: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let stats = ex
+            .par_explore(
+                &|s| {
+                    par_states.lock().insert(s.discrete.pretty(&sys));
+                },
+                &ParallelOptions::with_workers(4),
+            )
+            .unwrap();
+        let par_states = par_states.into_inner();
+        assert_eq!(seq_states, par_states);
+        assert!(stats.states_explored >= par_states.len());
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn parallel_sup_matches_sequential_sup() {
+        let sys = observed_pipeline();
+        let y = sys.clock_by_name("y").unwrap();
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let seen = TargetSpec::location(&sys, "obs", "seen").unwrap();
+        let seq = ex.sup_clock_at(&seen, y, 1_000).unwrap();
+        assert_eq!(seq.exact_value(), Some(13)); // 4 + 9
+        for workers in [1, 2, 4] {
+            let par = ex
+                .par_sup_clock_at(&seen, y, 1_000, &ParallelOptions::with_workers(workers))
+                .unwrap();
+            assert_eq!(par.exact_value(), seq.exact_value(), "workers={workers}");
+            assert!(!par.cap_hit);
+        }
+    }
+
+    #[test]
+    fn parallel_sup_reports_cap_hits_like_sequential() {
+        let sys = observed_pipeline();
+        let y = sys.clock_by_name("y").unwrap();
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let seen = TargetSpec::location(&sys, "obs", "seen").unwrap();
+        let par = ex
+            .par_sup_clock_at(&seen, y, 5, &ParallelOptions::with_workers(2))
+            .unwrap();
+        assert!(par.cap_hit);
+        assert_eq!(par.exact_value(), None);
+    }
+
+    #[test]
+    fn parallel_state_limit_is_enforced() {
+        let sys = worker_pool(3);
+        let opts = SearchOptions {
+            max_states: Some(5),
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let err = ex
+            .par_state_space_size(&ParallelOptions::with_workers(2))
+            .unwrap_err();
+        assert!(matches!(err, CheckError::StateLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn parallel_truncation_is_graceful() {
+        let sys = worker_pool(3);
+        let opts = SearchOptions {
+            max_states: Some(5),
+            truncate_on_limit: true,
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let stats = ex
+            .par_explore(&|_| {}, &ParallelOptions::with_workers(2))
+            .unwrap();
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn parallel_options_default_resolution() {
+        let par = ParallelOptions::default();
+        assert!(par.resolved_workers() >= 1);
+        assert!(par.resolved_shards(par.resolved_workers()) >= 16);
+        let fixed = ParallelOptions::with_workers(3);
+        assert_eq!(fixed.resolved_workers(), 3);
+    }
+
+    #[test]
+    fn parallel_agrees_with_all_sequential_search_orders() {
+        let sys = worker_pool(2);
+        let busy = sys.var_by_name("busy").unwrap();
+        let target = TargetSpec::any().with_int_guard(busy.ge_(2));
+        let par_verdict = {
+            let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+            ex.par_check_reachable(&target, &ParallelOptions::with_workers(4))
+                .unwrap()
+                .reachable
+        };
+        for order in [SearchOrder::Bfs, SearchOrder::Dfs, SearchOrder::RandomDfs] {
+            let ex = Explorer::new(&sys, SearchOptions::with_order(order)).unwrap();
+            assert_eq!(
+                ex.check_reachable(&target).unwrap().reachable,
+                par_verdict,
+                "{order:?}"
+            );
+        }
+    }
+}

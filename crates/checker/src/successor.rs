@@ -1,0 +1,698 @@
+//! The symbolic transition relation (successor computation) implementing
+//! UPPAAL network semantics.
+
+use crate::error::CheckError;
+use crate::state::{DiscreteState, SymState};
+use tempo_dbm::Dbm;
+use tempo_ta::{
+    apply_constraints, ChannelId, ChannelKind, Edge, EvalError, LocationKind, Sync, System,
+    VarStore,
+};
+
+/// Description of the discrete action labelling a zone-graph transition; used
+/// for diagnostic traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActionLabel {
+    /// An internal (τ) edge of one automaton.
+    Internal {
+        /// Automaton index.
+        automaton: usize,
+        /// Edge index within the automaton.
+        edge: usize,
+    },
+    /// A binary synchronization.
+    Binary {
+        /// The channel synchronized on.
+        channel: ChannelId,
+        /// `(automaton, edge)` of the sender (`c!`).
+        sender: (usize, usize),
+        /// `(automaton, edge)` of the receiver (`c?`).
+        receiver: (usize, usize),
+    },
+    /// A broadcast synchronization.
+    Broadcast {
+        /// The channel synchronized on.
+        channel: ChannelId,
+        /// `(automaton, edge)` of the sender.
+        sender: (usize, usize),
+        /// `(automaton, edge)` of every receiver (possibly empty).
+        receivers: Vec<(usize, usize)>,
+    },
+}
+
+impl ActionLabel {
+    /// Renders the action with declared names.
+    pub fn pretty(&self, sys: &System) -> String {
+        let edge_str = |a: usize, e: usize| -> String {
+            let aut = &sys.automata[a];
+            let edge = &aut.edges[e];
+            format!(
+                "{}: {} -> {}",
+                aut.name,
+                aut.location(edge.source).name,
+                aut.location(edge.target).name
+            )
+        };
+        match self {
+            ActionLabel::Internal { automaton, edge } => edge_str(*automaton, *edge),
+            ActionLabel::Binary {
+                channel,
+                sender,
+                receiver,
+            } => format!(
+                "{}! [{} || {}]",
+                sys.channels[channel.index()].name,
+                edge_str(sender.0, sender.1),
+                edge_str(receiver.0, receiver.1)
+            ),
+            ActionLabel::Broadcast {
+                channel,
+                sender,
+                receivers,
+            } => {
+                let rcv = receivers
+                    .iter()
+                    .map(|(a, e)| edge_str(*a, *e))
+                    .collect::<Vec<_>>()
+                    .join(" || ");
+                format!(
+                    "{}! (broadcast) [{} || {}]",
+                    sys.channels[channel.index()].name,
+                    edge_str(sender.0, sender.1),
+                    rcv
+                )
+            }
+        }
+    }
+}
+
+/// Successor generator: precomputed per-system data plus the extrapolation
+/// constants in effect for the current query.
+pub struct SuccessorGen<'s> {
+    sys: &'s System,
+    ranges: Vec<(i64, i64)>,
+    max_consts: Vec<i64>,
+    extrapolate: bool,
+}
+
+impl<'s> SuccessorGen<'s> {
+    /// Creates a generator.  `extra_clock_constants` are merged into the
+    /// per-clock maximum constants so that query bounds (e.g. the `C` of the
+    /// WCRT property) are respected by extrapolation.
+    pub fn new(
+        sys: &'s System,
+        extra_clock_constants: &[(tempo_ta::ClockId, i64)],
+        extrapolate: bool,
+    ) -> Result<SuccessorGen<'s>, CheckError> {
+        sys.validate()?;
+        // Restriction checks that keep the semantics implementable with plain
+        // zones: no clock guards on urgent synchronizations or broadcast
+        // receptions (same restriction as UPPAAL).
+        for (ai, a) in sys.automata.iter().enumerate() {
+            for (ei, e) in a.edges.iter().enumerate() {
+                if let Some(ch) = e.sync.channel() {
+                    let kind = sys.channels[ch.index()].kind;
+                    let is_recv = matches!(e.sync, Sync::Recv(_));
+                    if (kind.is_urgent() || (kind.is_broadcast() && is_recv))
+                        && !e.clock_guard.is_empty()
+                    {
+                        let _ = ai;
+                        return Err(CheckError::ClockGuardOnUrgentEdge {
+                            automaton: a.name.clone(),
+                            edge: ei,
+                        });
+                    }
+                }
+            }
+        }
+        let mut max_consts = sys.max_clock_constants();
+        for (clock, value) in extra_clock_constants {
+            let idx = clock.dbm_clock().index();
+            if idx < max_consts.len() && *value > max_consts[idx] {
+                max_consts[idx] = *value;
+            }
+        }
+        Ok(SuccessorGen {
+            sys,
+            ranges: sys.var_ranges(),
+            max_consts,
+            extrapolate,
+        })
+    }
+
+    /// The system this generator works on.
+    #[allow(dead_code)]
+    pub fn system(&self) -> &'s System {
+        self.sys
+    }
+
+    /// The per-clock maximum constants used for extrapolation.
+    #[allow(dead_code)]
+    pub fn max_constants(&self) -> &[i64] {
+        &self.max_consts
+    }
+
+    fn extrapolate_zone(&self, zone: &mut Dbm) {
+        if self.extrapolate {
+            zone.extrapolate_max_bounds(&self.max_consts);
+        }
+    }
+
+    /// Applies the invariants of every automaton (at the given locations,
+    /// under the given variable valuation) to the zone.
+    fn apply_invariants(
+        &self,
+        zone: &mut Dbm,
+        discrete: &DiscreteState,
+    ) -> Result<(), EvalError> {
+        for (a, loc) in self.sys.automata.iter().zip(&discrete.locations) {
+            let inv = &a.location(*loc).invariant;
+            if !inv.is_empty() {
+                apply_constraints(zone, inv, &discrete.vars)?;
+                if zone.is_empty() {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff time may elapse in the given discrete state: no automaton
+    /// occupies an urgent or committed location and no urgent-channel
+    /// synchronization is enabled.
+    pub fn delay_allowed(&self, discrete: &DiscreteState) -> Result<bool, EvalError> {
+        for (a, loc) in self.sys.automata.iter().zip(&discrete.locations) {
+            match a.location(*loc).kind {
+                LocationKind::Urgent | LocationKind::Committed => return Ok(false),
+                LocationKind::Normal => {}
+            }
+        }
+        // Urgent channels: a delay is forbidden as soon as a synchronization
+        // over an urgent channel is enabled (data guards only; clock guards on
+        // urgent edges are rejected at construction time).
+        for (ci, ch) in self.sys.channels.iter().enumerate() {
+            if !ch.kind.is_urgent() {
+                continue;
+            }
+            let channel = ChannelId(ci as u32);
+            let mut sender_auts: Vec<usize> = Vec::new();
+            let mut receiver_auts: Vec<usize> = Vec::new();
+            for (ai, a) in self.sys.automata.iter().enumerate() {
+                let loc = discrete.locations[ai];
+                for (_, e) in a.outgoing(loc) {
+                    match e.sync {
+                        Sync::Send(c) if c == channel => {
+                            if e.guard.eval(&discrete.vars)? {
+                                sender_auts.push(ai);
+                            }
+                        }
+                        Sync::Recv(c) if c == channel => {
+                            if e.guard.eval(&discrete.vars)? {
+                                receiver_auts.push(ai);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let enabled = if ch.kind.is_broadcast() {
+                !sender_auts.is_empty()
+            } else {
+                sender_auts.iter().any(|s| {
+                    receiver_auts.iter().any(|r| r != s)
+                })
+            };
+            if enabled {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The initial symbolic state (delay-closed if permitted, extrapolated).
+    pub fn initial_state(&self) -> Result<SymState, CheckError> {
+        let discrete = DiscreteState::initial(self.sys);
+        let mut zone = Dbm::zero(self.sys.num_clocks());
+        self.apply_invariants(&mut zone, &discrete)?;
+        if !zone.is_empty() && self.delay_allowed(&discrete)? {
+            zone.up();
+            self.apply_invariants(&mut zone, &discrete)?;
+        }
+        self.extrapolate_zone(&mut zone);
+        Ok(SymState::new(discrete, zone))
+    }
+
+    /// `true` iff any automaton currently occupies a committed location.
+    fn in_committed(&self, discrete: &DiscreteState) -> bool {
+        self.sys
+            .automata
+            .iter()
+            .zip(&discrete.locations)
+            .any(|(a, l)| a.location(*l).kind == LocationKind::Committed)
+    }
+
+    fn edge_committed(&self, automaton: usize, edge: &Edge) -> bool {
+        self.sys.automata[automaton].location(edge.source).kind == LocationKind::Committed
+    }
+
+    /// Fires the edges of `participants` (in order) from `state`, producing
+    /// the successor symbolic state, or `None` if the transition is disabled
+    /// by clock guards or invariants.
+    fn apply_transition(
+        &self,
+        state: &SymState,
+        participants: &[(usize, usize)],
+    ) -> Result<Option<(DiscreteState, Dbm)>, CheckError> {
+        let vars = &state.discrete.vars;
+        // 1. clock guards of every participating edge, under current vars.
+        let mut zone = state.zone.clone();
+        for &(ai, ei) in participants {
+            let edge = &self.sys.automata[ai].edges[ei];
+            if !edge.clock_guard.is_empty() {
+                apply_constraints(&mut zone, &edge.clock_guard, vars)?;
+                if zone.is_empty() {
+                    return Ok(None);
+                }
+            }
+        }
+        // 2. variable updates, sequentially in participant order.
+        let mut new_vars: VarStore = vars.clone();
+        for &(ai, ei) in participants {
+            let edge = &self.sys.automata[ai].edges[ei];
+            new_vars.apply(&edge.updates, &self.ranges)?;
+        }
+        // 3. location changes.
+        let mut new_locs = state.discrete.locations.clone();
+        for &(ai, ei) in participants {
+            let edge = &self.sys.automata[ai].edges[ei];
+            new_locs[ai] = edge.target;
+        }
+        let new_discrete = DiscreteState {
+            locations: new_locs,
+            vars: new_vars,
+        };
+        // 4. clock resets.
+        for &(ai, ei) in participants {
+            let edge = &self.sys.automata[ai].edges[ei];
+            for (c, v) in &edge.resets {
+                zone.reset(c.dbm_clock(), *v);
+            }
+        }
+        // 5. invariants of the new discrete state.
+        self.apply_invariants(&mut zone, &new_discrete)?;
+        if zone.is_empty() {
+            return Ok(None);
+        }
+        // 6. delay closure, when permitted.
+        if self.delay_allowed(&new_discrete)? {
+            zone.up();
+            self.apply_invariants(&mut zone, &new_discrete)?;
+            if zone.is_empty() {
+                return Ok(None);
+            }
+        }
+        // 7. extrapolation.
+        self.extrapolate_zone(&mut zone);
+        Ok(Some((new_discrete, zone)))
+    }
+
+    /// Computes all symbolic successors of a state.
+    pub fn successors(
+        &self,
+        state: &SymState,
+    ) -> Result<Vec<(SymState, ActionLabel)>, CheckError> {
+        let discrete = &state.discrete;
+        let vars = &discrete.vars;
+        let committed_active = self.in_committed(discrete);
+        let mut out: Vec<(SymState, ActionLabel)> = Vec::new();
+
+        let push = |participants: &[(usize, usize)],
+                        label: ActionLabel,
+                        this: &Self,
+                        out: &mut Vec<(SymState, ActionLabel)>|
+         -> Result<(), CheckError> {
+            if let Some((d, z)) = this.apply_transition(state, participants)? {
+                out.push((SymState::new(d, z), label));
+            }
+            Ok(())
+        };
+
+        // Internal (τ) transitions.
+        for (ai, a) in self.sys.automata.iter().enumerate() {
+            let loc = discrete.locations[ai];
+            for (ei, e) in a.outgoing(loc) {
+                if e.sync != Sync::Tau {
+                    continue;
+                }
+                if committed_active && !self.edge_committed(ai, e) {
+                    continue;
+                }
+                if !e.guard.eval(vars)? {
+                    continue;
+                }
+                push(
+                    &[(ai, ei)],
+                    ActionLabel::Internal {
+                        automaton: ai,
+                        edge: ei,
+                    },
+                    self,
+                    &mut out,
+                )?;
+            }
+        }
+
+        // Synchronizations, per channel.
+        for (ci, ch) in self.sys.channels.iter().enumerate() {
+            let channel = ChannelId(ci as u32);
+            // Collect enabled senders and receivers (data guards only; clock
+            // guards are applied to the zone inside `apply_transition`).
+            let mut senders: Vec<(usize, usize)> = Vec::new();
+            let mut receivers: Vec<(usize, usize)> = Vec::new();
+            for (ai, a) in self.sys.automata.iter().enumerate() {
+                let loc = discrete.locations[ai];
+                for (ei, e) in a.outgoing(loc) {
+                    match e.sync {
+                        Sync::Send(c) if c == channel => {
+                            if e.guard.eval(vars)? {
+                                senders.push((ai, ei));
+                            }
+                        }
+                        Sync::Recv(c) if c == channel => {
+                            if e.guard.eval(vars)? {
+                                receivers.push((ai, ei));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if senders.is_empty() {
+                continue;
+            }
+            match ch.kind {
+                ChannelKind::Binary | ChannelKind::Urgent => {
+                    for &s in &senders {
+                        for &r in &receivers {
+                            if s.0 == r.0 {
+                                continue; // an automaton cannot synchronize with itself
+                            }
+                            if committed_active
+                                && !self.edge_committed(s.0, &self.sys.automata[s.0].edges[s.1])
+                                && !self.edge_committed(r.0, &self.sys.automata[r.0].edges[r.1])
+                            {
+                                continue;
+                            }
+                            push(
+                                &[s, r],
+                                ActionLabel::Binary {
+                                    channel,
+                                    sender: s,
+                                    receiver: r,
+                                },
+                                self,
+                                &mut out,
+                            )?;
+                        }
+                    }
+                }
+                ChannelKind::Broadcast => {
+                    for &s in &senders {
+                        // Every automaton (other than the sender) that has an
+                        // enabled receiving edge must participate.  If an
+                        // automaton has several enabled receiving edges, each
+                        // combination yields a distinct transition.
+                        let mut per_automaton: Vec<Vec<(usize, usize)>> = Vec::new();
+                        for (ai, _) in self.sys.automata.iter().enumerate() {
+                            if ai == s.0 {
+                                continue;
+                            }
+                            let choices: Vec<(usize, usize)> = receivers
+                                .iter()
+                                .copied()
+                                .filter(|(ra, _)| *ra == ai)
+                                .collect();
+                            if !choices.is_empty() {
+                                per_automaton.push(choices);
+                            }
+                        }
+                        // Cartesian product over the receiver choices.
+                        let mut combos: Vec<Vec<(usize, usize)>> = vec![Vec::new()];
+                        for choices in &per_automaton {
+                            let mut next = Vec::with_capacity(combos.len() * choices.len());
+                            for combo in &combos {
+                                for &c in choices {
+                                    let mut extended = combo.clone();
+                                    extended.push(c);
+                                    next.push(extended);
+                                }
+                            }
+                            combos = next;
+                        }
+                        for combo in combos {
+                            if committed_active {
+                                let any_committed = std::iter::once(s)
+                                    .chain(combo.iter().copied())
+                                    .any(|(a, e)| {
+                                        self.edge_committed(a, &self.sys.automata[a].edges[e])
+                                    });
+                                if !any_committed {
+                                    continue;
+                                }
+                            }
+                            let mut participants = vec![s];
+                            participants.extend(combo.iter().copied());
+                            push(
+                                &participants,
+                                ActionLabel::Broadcast {
+                                    channel,
+                                    sender: s,
+                                    receivers: combo.clone(),
+                                },
+                                self,
+                                &mut out,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ta::{ClockRef, SystemBuilder, Update, VarExprExt};
+
+    /// One automaton ticking every exactly 10 time units, counting ticks.
+    fn periodic_system() -> System {
+        let mut sb = SystemBuilder::new("periodic");
+        let x = sb.add_clock("x");
+        let n = sb.add_var("n", 0, 100, 0);
+        let mut a = sb.automaton("gen");
+        let l0 = a.location("l0").invariant(x.le(10)).add();
+        a.edge(l0, l0)
+            .guard_clock(x.eq_(10))
+            .update(Update::add(n, 1))
+            .reset(x)
+            .add();
+        a.set_initial(l0);
+        a.build();
+        sb.build()
+    }
+
+    #[test]
+    fn initial_state_is_delay_closed_within_invariant() {
+        let sys = periodic_system();
+        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let init = gen.initial_state().unwrap();
+        let x = sys.clock_by_name("x").unwrap().dbm_clock();
+        assert_eq!(init.zone.sup(x), tempo_dbm::Bound::weak(10));
+    }
+
+    #[test]
+    fn tick_successor_resets_clock_and_counts() {
+        let sys = periodic_system();
+        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let init = gen.initial_state().unwrap();
+        let succ = gen.successors(&init).unwrap();
+        assert_eq!(succ.len(), 1);
+        let (s, label) = &succ[0];
+        assert!(matches!(label, ActionLabel::Internal { automaton: 0, edge: 0 }));
+        assert_eq!(s.discrete.vars.get(sys.var_by_name("n").unwrap()), 1);
+        let x = sys.clock_by_name("x").unwrap().dbm_clock();
+        // After the tick the clock was reset and may again delay up to 10.
+        assert_eq!(s.zone.sup(x), tempo_dbm::Bound::weak(10));
+    }
+
+    /// Sender/receiver pair over an urgent channel with a counter interface,
+    /// mimicking the paper's resource/bus pattern.
+    fn urgent_pair() -> System {
+        let mut sb = SystemBuilder::new("urgent");
+        let x = sb.add_clock("x");
+        let pending = sb.add_var("pending", 0, 10, 1);
+        let hurry = sb.add_channel("hurry", ChannelKind::Urgent);
+        // Receiver that is always available (the paper's `hurry?` listener).
+        let mut l = sb.automaton("listener");
+        let l0 = l.location("idle").add();
+        l.edge(l0, l0).sync(Sync::recv(hurry)).add();
+        l.set_initial(l0);
+        l.build();
+        // Resource: greedy start when pending > 0.
+        let mut r = sb.automaton("res");
+        let idle = r.location("idle").add();
+        let busy = r.location("busy").invariant(x.le(5)).add();
+        r.edge(idle, busy)
+            .guard(pending.gt_(0))
+            .sync(Sync::send(hurry))
+            .update(Update::add(pending, -1))
+            .reset(x)
+            .add();
+        r.edge(busy, idle).guard_clock(x.eq_(5)).add();
+        r.set_initial(idle);
+        r.build();
+        sb.build()
+    }
+
+    #[test]
+    fn urgent_sync_forbids_delay() {
+        let sys = urgent_pair();
+        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let init = gen.initial_state().unwrap();
+        // pending = 1, so the urgent sync is enabled: no delay in the initial
+        // state, hence x is still exactly 0.
+        let x = sys.clock_by_name("x").unwrap().dbm_clock();
+        assert_eq!(init.zone.sup(x), tempo_dbm::Bound::weak(0));
+        assert!(!gen.delay_allowed(&init.discrete).unwrap());
+
+        // Take the sync; now pending = 0 and the resource is busy for 5.
+        let succ = gen.successors(&init).unwrap();
+        assert_eq!(succ.len(), 1);
+        let (s, label) = &succ[0];
+        assert!(matches!(label, ActionLabel::Binary { .. }));
+        assert_eq!(s.discrete.vars.get(sys.var_by_name("pending").unwrap()), 0);
+        assert!(gen.delay_allowed(&s.discrete).unwrap());
+        assert_eq!(s.zone.sup(x), tempo_dbm::Bound::weak(5));
+    }
+
+    #[test]
+    fn clock_guard_on_urgent_edge_is_rejected() {
+        let mut sb = SystemBuilder::new("bad");
+        let x = sb.add_clock("x");
+        let hurry = sb.add_channel("hurry", ChannelKind::Urgent);
+        let mut a = sb.automaton("a");
+        let l0 = a.location("l0").add();
+        a.edge(l0, l0)
+            .sync(Sync::send(hurry))
+            .guard_clock(x.ge(1))
+            .add();
+        a.set_initial(l0);
+        a.build();
+        let sys = sb.build();
+        assert!(matches!(
+            SuccessorGen::new(&sys, &[], true),
+            Err(CheckError::ClockGuardOnUrgentEdge { .. })
+        ));
+    }
+
+    /// Committed location: the intermediate hop must be taken before anything
+    /// else happens in the rest of the network.
+    #[test]
+    fn committed_location_has_priority() {
+        let mut sb = SystemBuilder::new("committed");
+        let x = sb.add_clock("x");
+        let mut a = sb.automaton("a");
+        let l0 = a.location("l0").add();
+        let mid = a.location("mid").committed(true).add();
+        let end = a.location("end").add();
+        a.edge(l0, mid).reset(x).add();
+        a.edge(mid, end).add();
+        a.set_initial(l0);
+        a.build();
+        let mut b = sb.automaton("b");
+        let m0 = b.location("m0").invariant(x.le(100)).add();
+        let m1 = b.location("m1").add();
+        b.edge(m0, m1).add();
+        b.set_initial(m0);
+        b.build();
+        let sys = sb.build();
+        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let init = gen.initial_state().unwrap();
+        // From the initial state both automata can move.
+        let succ = gen.successors(&init).unwrap();
+        assert_eq!(succ.len(), 2);
+        // Find the successor where `a` entered the committed location.
+        let committed_state = succ
+            .iter()
+            .find(|(s, _)| {
+                sys.automata[0].location(s.discrete.locations[0]).name == "mid"
+            })
+            .map(|(s, _)| s.clone())
+            .unwrap();
+        // No delay was permitted in the committed state.
+        let x = sys.clock_by_name("x").unwrap().dbm_clock();
+        assert_eq!(committed_state.zone.sup(x), tempo_dbm::Bound::weak(0));
+        // From the committed state only `a`'s outgoing edge may fire.
+        let succ2 = gen.successors(&committed_state).unwrap();
+        assert_eq!(succ2.len(), 1);
+        assert!(matches!(
+            succ2[0].1,
+            ActionLabel::Internal { automaton: 0, edge: 1 }
+        ));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_enabled_receivers() {
+        let mut sb = SystemBuilder::new("bcast");
+        let go = sb.add_channel("go", ChannelKind::Broadcast);
+        let ready = sb.add_var("ready", 0, 1, 1);
+        let mut s = sb.automaton("sender");
+        let s0 = s.location("s0").add();
+        let s1 = s.location("s1").add();
+        s.edge(s0, s1).sync(Sync::send(go)).add();
+        s.set_initial(s0);
+        s.build();
+        for name in ["r1", "r2", "r3"] {
+            let mut r = sb.automaton(name);
+            let l0 = r.location("wait").add();
+            let l1 = r.location("got").add();
+            // r3 is not ready and must not participate.
+            let guard = if name == "r3" {
+                ready.eq_(0)
+            } else {
+                ready.eq_(1)
+            };
+            r.edge(l0, l1).guard(guard).sync(Sync::recv(go)).add();
+            r.set_initial(l0);
+            r.build();
+        }
+        let sys = sb.build();
+        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let init = gen.initial_state().unwrap();
+        let succ = gen.successors(&init).unwrap();
+        assert_eq!(succ.len(), 1);
+        let (st, label) = &succ[0];
+        match label {
+            ActionLabel::Broadcast { receivers, .. } => assert_eq!(receivers.len(), 2),
+            other => panic!("expected broadcast, got {other:?}"),
+        }
+        // r1 and r2 moved, r3 stayed.
+        assert_eq!(sys.automata[1].location(st.discrete.locations[1]).name, "got");
+        assert_eq!(sys.automata[2].location(st.discrete.locations[2]).name, "got");
+        assert_eq!(sys.automata[3].location(st.discrete.locations[3]).name, "wait");
+    }
+
+    #[test]
+    fn action_label_pretty_uses_names() {
+        let sys = urgent_pair();
+        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let init = gen.initial_state().unwrap();
+        let succ = gen.successors(&init).unwrap();
+        let text = succ[0].1.pretty(&sys);
+        assert!(text.contains("hurry"));
+        assert!(text.contains("res"));
+        assert!(text.contains("idle -> busy"));
+    }
+}

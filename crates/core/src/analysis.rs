@@ -1,0 +1,418 @@
+//! The analysis driver: generate the timed-automata network for a requirement
+//! and extract its worst-case response time with the model checker.
+
+use crate::generator::{generate, GeneratedModel, GeneratorOptions};
+use crate::model::{ArchitectureModel, ModelError, Requirement};
+use crate::time::TimeValue;
+use std::fmt;
+use tempo_check::{CheckError, ExplorationStats, Explorer, SearchOptions, TargetSpec};
+
+/// Errors of the analysis layer.
+#[derive(Debug)]
+pub enum ArchError {
+    /// The architecture model itself is inconsistent.
+    Model(ModelError),
+    /// The model checker rejected or failed on the generated network.
+    Check(CheckError),
+    /// A requirement name could not be resolved.
+    UnknownRequirement {
+        /// The requested name.
+        name: String,
+    },
+    /// A queue counter overflowed during exploration, meaning the chosen
+    /// queue capacity is too small or a resource is overloaded.
+    QueueOverflow {
+        /// Description of the overflowing variable.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::Model(e) => write!(f, "invalid architecture model: {e}"),
+            ArchError::Check(e) => write!(f, "model checking failed: {e}"),
+            ArchError::UnknownRequirement { name } => {
+                write!(f, "unknown requirement `{name}`")
+            }
+            ArchError::QueueOverflow { detail } => write!(
+                f,
+                "an event queue overflowed ({detail}); increase the queue capacity or check \
+                 whether the resource is overloaded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl From<ModelError> for ArchError {
+    fn from(e: ModelError) -> Self {
+        ArchError::Model(e)
+    }
+}
+
+impl From<CheckError> for ArchError {
+    fn from(e: CheckError) -> Self {
+        match &e {
+            CheckError::Eval(tempo_ta::EvalError::OutOfRange { var, value, max, .. }) => {
+                ArchError::QueueOverflow {
+                    detail: format!("variable {var} reached {value}, max {max}"),
+                }
+            }
+            _ => ArchError::Check(e),
+        }
+    }
+}
+
+/// Configuration of a WCRT analysis.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Generator options (queue capacities).
+    pub generator: GeneratorOptions,
+    /// Model-checker search options.
+    pub search: SearchOptions,
+    /// Initial extrapolation cap for the observer clock, as a multiple of the
+    /// requirement deadline.
+    pub initial_cap_factor: i64,
+    /// Hard upper bound on the extrapolation cap, as a multiple of the
+    /// deadline; if the WCRT exceeds this, only a lower bound is reported.
+    pub max_cap_factor: i64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            generator: GeneratorOptions::default(),
+            search: SearchOptions::default(),
+            initial_cap_factor: 2,
+            max_cap_factor: 64,
+        }
+    }
+}
+
+/// The result of a WCRT analysis of one requirement.
+#[derive(Clone, Debug)]
+pub struct WcrtReport {
+    /// Requirement name.
+    pub requirement: String,
+    /// Exact worst-case response time, if it could be established.
+    pub wcrt: Option<TimeValue>,
+    /// A lower bound on the WCRT when only a bound is known (cap exceeded or
+    /// truncated search).
+    pub lower_bound: Option<TimeValue>,
+    /// The deadline of the requirement.
+    pub deadline: TimeValue,
+    /// `Some(true)` iff the WCRT is known and meets the deadline,
+    /// `Some(false)` iff it is known (or bounded from below) to violate it,
+    /// `None` if undecided.
+    pub meets_deadline: Option<bool>,
+    /// Statistics of the (last) exploration.
+    pub stats: ExplorationStats,
+}
+
+impl WcrtReport {
+    /// The WCRT in milliseconds, if exact.
+    pub fn wcrt_ms(&self) -> Option<f64> {
+        self.wcrt.map(|t| t.as_millis_f64())
+    }
+}
+
+impl fmt::Display for WcrtReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.wcrt, self.lower_bound) {
+            (Some(w), _) => write!(f, "{}: WCRT = {w} (deadline {})", self.requirement, self.deadline),
+            (None, Some(lb)) => write!(
+                f,
+                "{}: WCRT > {lb} (lower bound, deadline {})",
+                self.requirement, self.deadline
+            ),
+            (None, None) => write!(f, "{}: requirement never exercised", self.requirement),
+        }
+    }
+}
+
+/// Analyzes a single requirement of the model and returns its WCRT.
+pub fn analyze_requirement(
+    model: &ArchitectureModel,
+    requirement_name: &str,
+    cfg: &AnalysisConfig,
+) -> Result<WcrtReport, ArchError> {
+    let req = model
+        .requirement_by_name(requirement_name)
+        .ok_or_else(|| ArchError::UnknownRequirement {
+            name: requirement_name.to_string(),
+        })?
+        .clone();
+    let generated = generate(model, Some(&req), &cfg.generator)?;
+    analyze_generated(&generated, &req, cfg)
+}
+
+/// Analyzes every requirement of the model.
+pub fn analyze_all(
+    model: &ArchitectureModel,
+    cfg: &AnalysisConfig,
+) -> Result<Vec<WcrtReport>, ArchError> {
+    model
+        .requirements
+        .iter()
+        .map(|r| analyze_requirement(model, &r.name, cfg))
+        .collect()
+}
+
+/// Runs the WCRT extraction on an already generated model.
+pub fn analyze_generated(
+    generated: &GeneratedModel,
+    req: &Requirement,
+    cfg: &AnalysisConfig,
+) -> Result<WcrtReport, ArchError> {
+    let observer = generated
+        .observer
+        .as_ref()
+        .expect("generated model has an observer for the measured requirement");
+    let explorer = Explorer::new(&generated.system, cfg.search.clone())?;
+    let target = TargetSpec::location(
+        &generated.system,
+        &observer.automaton,
+        &observer.seen_location,
+    )?;
+    let deadline_ticks = generated.quantizer.to_ticks(req.deadline).max(1);
+    let initial_cap = deadline_ticks.saturating_mul(cfg.initial_cap_factor.max(1));
+    let max_cap = deadline_ticks.saturating_mul(cfg.max_cap_factor.max(cfg.initial_cap_factor));
+    let report = explorer.sup_clock_at_auto(&target, observer.clock, initial_cap, max_cap)?;
+
+    let (wcrt, lower_bound) = if report.stats.truncated {
+        // The exploration was cut short (bounded "structured testing" in the
+        // sense of Section 4): the observed supremum is only a lower bound.
+        (
+            None,
+            report
+                .sup
+                .and_then(|b| b.finite_constant())
+                .map(|t| generated.quantizer.from_ticks(t)),
+        )
+    } else if report.cap_hit {
+        (None, Some(generated.quantizer.from_ticks(report.cap)))
+    } else {
+        (
+            report
+                .sup
+                .and_then(|b| b.finite_constant())
+                .map(|t| generated.quantizer.from_ticks(t)),
+            None,
+        )
+    };
+    let meets_deadline = match (wcrt, lower_bound) {
+        (Some(w), _) => Some(w < req.deadline),
+        (None, Some(lb)) if lb >= req.deadline => Some(false),
+        _ => None,
+    };
+    Ok(WcrtReport {
+        requirement: req.name.clone(),
+        wcrt,
+        lower_bound,
+        deadline: req.deadline,
+        meets_deadline,
+        stats: report.stats,
+    })
+}
+
+/// Reproduces the paper's Property 1 procedure (binary search over `C`) for a
+/// requirement; mainly used to cross-check [`analyze_requirement`] and to
+/// report the number of verification runs the manual method needs.
+pub fn analyze_requirement_binary_search(
+    model: &ArchitectureModel,
+    requirement_name: &str,
+    cfg: &AnalysisConfig,
+) -> Result<WcrtReport, ArchError> {
+    let req = model
+        .requirement_by_name(requirement_name)
+        .ok_or_else(|| ArchError::UnknownRequirement {
+            name: requirement_name.to_string(),
+        })?
+        .clone();
+    let generated = generate(model, Some(&req), &cfg.generator)?;
+    let observer = generated.observer.as_ref().expect("observer present");
+    let explorer = Explorer::new(&generated.system, cfg.search.clone())?;
+    let target = TargetSpec::location(
+        &generated.system,
+        &observer.automaton,
+        &observer.seen_location,
+    )?;
+    let deadline_ticks = generated.quantizer.to_ticks(req.deadline).max(1);
+    let hi = deadline_ticks.saturating_mul(cfg.max_cap_factor.max(2));
+    let bs = explorer.binary_search_wcrt(&target, observer.clock, 0, hi)?;
+    let wcrt = generated.quantizer.from_ticks(bs.wcrt.max(0));
+    Ok(WcrtReport {
+        requirement: req.name.clone(),
+        wcrt: Some(wcrt),
+        lower_bound: None,
+        deadline: req.deadline,
+        meets_deadline: Some(wcrt < req.deadline),
+        stats: bs.last_stats,
+    })
+}
+
+/// Verifies that no event queue can overflow for the given model (a
+/// schedulability-style sanity check): returns `Ok(())` if all queues stay
+/// within capacity, or the offending variable.
+pub fn check_queues_bounded(
+    model: &ArchitectureModel,
+    cfg: &AnalysisConfig,
+) -> Result<(), ArchError> {
+    let generated = generate(model, None, &cfg.generator)?;
+    let explorer = Explorer::new(&generated.system, cfg.search.clone())?;
+    match explorer.explore(|_| {}) {
+        Ok(_) => Ok(()),
+        Err(e) => Err(ArchError::from(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        EventModel, MeasurePoint, Scenario, SchedulingPolicy, Step,
+    };
+
+    /// A single periodic task on one processor: WCRT equals its execution
+    /// time when the utilisation is low.
+    fn single_task_model(period_ms: i128, instructions: u64) -> ArchitectureModel {
+        let mut m = ArchitectureModel::new("single");
+        let cpu = m.add_processor("CPU", 1, SchedulingPolicy::NonPreemptiveNd);
+        let sid = m.add_scenario(Scenario {
+            name: "task".into(),
+            stimulus: EventModel::Periodic {
+                period: TimeValue::millis(period_ms),
+            },
+            priority: 0,
+            steps: vec![Step::Execute {
+                operation: "work".into(),
+                instructions,
+                on: cpu,
+            }],
+        });
+        m.add_requirement(crate::model::Requirement {
+            name: "rt".into(),
+            scenario: sid,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(0),
+            deadline: TimeValue::millis(period_ms),
+        });
+        m
+    }
+
+    #[test]
+    fn isolated_task_wcrt_equals_wcet() {
+        // 2000 instructions at 1 MIPS = 2 ms, period 10 ms.
+        let m = single_task_model(10, 2_000);
+        let report = analyze_requirement(&m, "rt", &AnalysisConfig::default()).unwrap();
+        assert_eq!(report.wcrt, Some(TimeValue::millis(2)));
+        assert_eq!(report.meets_deadline, Some(true));
+        assert!(report.wcrt_ms().unwrap() > 1.9 && report.wcrt_ms().unwrap() < 2.1);
+    }
+
+    #[test]
+    fn binary_search_matches_sup_method() {
+        let m = single_task_model(10, 2_000);
+        let cfg = AnalysisConfig::default();
+        let sup = analyze_requirement(&m, "rt", &cfg).unwrap();
+        let bs = analyze_requirement_binary_search(&m, "rt", &cfg).unwrap();
+        assert_eq!(sup.wcrt, bs.wcrt);
+    }
+
+    #[test]
+    fn overloaded_resource_reports_queue_overflow() {
+        // 20 ms of work every 10 ms: the queue must grow without bound.
+        let m = single_task_model(10, 20_000);
+        let err = analyze_requirement(&m, "rt", &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, ArchError::QueueOverflow { .. }), "{err}");
+        assert!(check_queues_bounded(&m, &AnalysisConfig::default()).is_err());
+        // The healthy variant passes the queue check.
+        let ok = single_task_model(10, 2_000);
+        assert!(check_queues_bounded(&ok, &AnalysisConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn unknown_requirement_is_reported() {
+        let m = single_task_model(10, 2_000);
+        assert!(matches!(
+            analyze_requirement(&m, "nope", &AnalysisConfig::default()),
+            Err(ArchError::UnknownRequirement { .. })
+        ));
+    }
+
+    /// Two tasks sharing a processor: the low-priority task's WCRT includes
+    /// interference, and preemptive vs. non-preemptive scheduling changes the
+    /// high-priority task's WCRT.
+    fn two_task_model(policy: SchedulingPolicy) -> ArchitectureModel {
+        let mut m = ArchitectureModel::new("two");
+        let cpu = m.add_processor("CPU", 1, policy);
+        let hi = m.add_scenario(Scenario {
+            name: "hi".into(),
+            stimulus: EventModel::Sporadic {
+                min_interarrival: TimeValue::millis(20),
+            },
+            priority: 0,
+            steps: vec![Step::Execute {
+                operation: "short".into(),
+                instructions: 2_000,
+                on: cpu,
+            }],
+        });
+        let lo = m.add_scenario(Scenario {
+            name: "lo".into(),
+            stimulus: EventModel::Sporadic {
+                min_interarrival: TimeValue::millis(50),
+            },
+            priority: 1,
+            steps: vec![Step::Execute {
+                operation: "long".into(),
+                instructions: 10_000,
+                on: cpu,
+            }],
+        });
+        m.add_requirement(crate::model::Requirement {
+            name: "hi-rt".into(),
+            scenario: hi,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(0),
+            deadline: TimeValue::millis(20),
+        });
+        m.add_requirement(crate::model::Requirement {
+            name: "lo-rt".into(),
+            scenario: lo,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(0),
+            deadline: TimeValue::millis(50),
+        });
+        m
+    }
+
+    #[test]
+    fn preemption_shortens_high_priority_response() {
+        let cfg = AnalysisConfig::default();
+        // Non-preemptive: hi can be blocked by the full 10 ms of lo => 12 ms.
+        let np = two_task_model(SchedulingPolicy::FixedPriorityNonPreemptive);
+        let hi_np = analyze_requirement(&np, "hi-rt", &cfg).unwrap();
+        assert_eq!(hi_np.wcrt, Some(TimeValue::millis(12)));
+        // Preemptive: hi interrupts lo and only ever waits for itself => 2 ms.
+        let pre = two_task_model(SchedulingPolicy::FixedPriorityPreemptive);
+        let hi_pre = analyze_requirement(&pre, "hi-rt", &cfg).unwrap();
+        assert_eq!(hi_pre.wcrt, Some(TimeValue::millis(2)));
+        // The low-priority task pays for the preemption: its WCRT under
+        // preemption is at least as large as under non-preemptive scheduling.
+        let lo_np = analyze_requirement(&np, "lo-rt", &cfg).unwrap();
+        let lo_pre = analyze_requirement(&pre, "lo-rt", &cfg).unwrap();
+        assert!(lo_pre.wcrt.unwrap() >= lo_np.wcrt.unwrap());
+    }
+
+    #[test]
+    fn analyze_all_covers_every_requirement() {
+        let m = two_task_model(SchedulingPolicy::FixedPriorityNonPreemptive);
+        let reports = analyze_all(&m, &AnalysisConfig::default()).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.wcrt.is_some()));
+        assert!(reports.iter().all(|r| r.meets_deadline == Some(true)));
+    }
+}

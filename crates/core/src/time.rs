@@ -1,0 +1,327 @@
+//! Exact rational time values and quantization to integer model-time ticks.
+//!
+//! Timed-automata constants must be integers, but the natural durations of the
+//! case study are not: `1·10⁵ instructions / 22 MIPS = 50000/11 µs`.  To avoid
+//! rounding errors that would change worst-case response times, all durations
+//! are carried as exact rationals ([`TimeValue`], microseconds) and a
+//! [`Quantizer`] chooses a common denominator so every duration of a model
+//! becomes an exact integer number of *ticks*.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// An exact, non-negative rational number of microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeValue {
+    /// Numerator (µs).
+    num: i128,
+    /// Denominator (> 0).
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+fn lcm(a: i128, b: i128) -> i128 {
+    a / gcd(a, b) * b
+}
+
+impl TimeValue {
+    /// Zero duration.
+    pub const ZERO: TimeValue = TimeValue { num: 0, den: 1 };
+
+    /// Creates the rational `num/den` µs.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or the value is negative.
+    pub fn ratio_us(num: i128, den: i128) -> TimeValue {
+        assert!(den != 0, "zero denominator");
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        assert!(num >= 0, "time values must be non-negative");
+        let g = gcd(num, den);
+        TimeValue {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// An integer number of microseconds.
+    pub fn micros(us: i128) -> TimeValue {
+        TimeValue::ratio_us(us, 1)
+    }
+
+    /// An integer number of milliseconds.
+    pub fn millis(ms: i128) -> TimeValue {
+        TimeValue::ratio_us(ms * 1_000, 1)
+    }
+
+    /// An integer number of seconds.
+    pub fn seconds(s: i128) -> TimeValue {
+        TimeValue::ratio_us(s * 1_000_000, 1)
+    }
+
+    /// Execution time of `instructions` on a processor of `mips` million
+    /// instructions per second: `instructions / mips` µs, exactly.
+    pub fn from_instructions(instructions: u64, mips: u64) -> TimeValue {
+        assert!(mips > 0, "processor speed must be positive");
+        TimeValue::ratio_us(instructions as i128, mips as i128)
+    }
+
+    /// Transfer time of `bytes` over a link of `bits_per_second`:
+    /// `8·bytes / bps` seconds, exactly.
+    pub fn from_bytes(bytes: u64, bits_per_second: u64) -> TimeValue {
+        assert!(bits_per_second > 0, "bus speed must be positive");
+        TimeValue::ratio_us(bytes as i128 * 8 * 1_000_000, bits_per_second as i128)
+    }
+
+    /// The period of an event stream of `events` occurrences per `window`.
+    pub fn period_of_rate(events: u64, window: TimeValue) -> TimeValue {
+        assert!(events > 0, "rate must be positive");
+        TimeValue::ratio_us(window.num, window.den * events as i128)
+    }
+
+    /// Numerator of the reduced fraction (µs).
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the reduced fraction.
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// Value in milliseconds as a float (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.num as f64 / self.den as f64 / 1_000.0
+    }
+
+    /// Value in microseconds as a float (for reporting only).
+    pub fn as_micros_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `true` iff the duration is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Multiplies by an integer factor.
+    pub fn scale(self, factor: i128) -> TimeValue {
+        TimeValue::ratio_us(self.num * factor, self.den)
+    }
+}
+
+impl Add for TimeValue {
+    type Output = TimeValue;
+    fn add(self, rhs: TimeValue) -> TimeValue {
+        TimeValue::ratio_us(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for TimeValue {
+    type Output = TimeValue;
+    fn sub(self, rhs: TimeValue) -> TimeValue {
+        TimeValue::ratio_us(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul<i128> for TimeValue {
+    type Output = TimeValue;
+    fn mul(self, rhs: i128) -> TimeValue {
+        self.scale(rhs)
+    }
+}
+
+impl PartialOrd for TimeValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for TimeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}µs", self.num)
+        } else {
+            write!(f, "{}/{}µs", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for TimeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// Converts exact [`TimeValue`]s into integer model-time *ticks* using a
+/// common denominator, so that all durations of a model stay exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quantizer {
+    /// Number of ticks per microsecond.
+    ticks_per_us: i128,
+}
+
+impl Quantizer {
+    /// Largest tolerated `ticks_per_us` before falling back to rounding; keeps
+    /// DBM constants comfortably inside `i64`.
+    pub const MAX_TICKS_PER_US: i128 = 1_000_000;
+
+    /// Chooses the smallest tick such that every given duration is an integer
+    /// number of ticks.  Falls back to nanosecond resolution (with rounding)
+    /// if the exact common denominator would be too fine.
+    pub fn for_durations<'a, I: IntoIterator<Item = &'a TimeValue>>(durations: I) -> Quantizer {
+        let mut l: i128 = 1;
+        for d in durations {
+            l = lcm(l, d.den);
+            if l > Self::MAX_TICKS_PER_US {
+                return Quantizer {
+                    ticks_per_us: 1_000, // nanosecond resolution, rounded
+                };
+            }
+        }
+        Quantizer { ticks_per_us: l }
+    }
+
+    /// A quantizer with an explicit resolution.
+    pub fn with_ticks_per_us(ticks_per_us: i128) -> Quantizer {
+        assert!(ticks_per_us > 0);
+        Quantizer { ticks_per_us }
+    }
+
+    /// Number of ticks per microsecond.
+    pub fn ticks_per_us(&self) -> i128 {
+        self.ticks_per_us
+    }
+
+    /// `true` iff the value is represented exactly (no rounding).
+    pub fn is_exact(&self, t: TimeValue) -> bool {
+        (t.num * self.ticks_per_us) % t.den == 0
+    }
+
+    /// Converts to ticks, rounding to nearest if not exact.
+    pub fn to_ticks(&self, t: TimeValue) -> i64 {
+        let scaled = t.num * self.ticks_per_us;
+        let q = scaled / t.den;
+        let r = scaled % t.den;
+        let rounded = if 2 * r >= t.den { q + 1 } else { q };
+        i64::try_from(rounded).expect("tick value overflows i64")
+    }
+
+    /// Converts ticks back to an exact [`TimeValue`].
+    pub fn from_ticks(&self, ticks: i64) -> TimeValue {
+        TimeValue::ratio_us(ticks as i128, self.ticks_per_us)
+    }
+
+    /// Converts ticks to milliseconds as a float (for reporting).
+    pub fn ticks_to_ms(&self, ticks: i64) -> f64 {
+        ticks as f64 / self.ticks_per_us as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_reduction() {
+        assert_eq!(TimeValue::ratio_us(4, 8), TimeValue::ratio_us(1, 2));
+        assert_eq!(TimeValue::millis(2), TimeValue::micros(2_000));
+        assert_eq!(TimeValue::seconds(3), TimeValue::micros(3_000_000));
+        assert_eq!(TimeValue::ZERO, TimeValue::micros(0));
+        assert!(TimeValue::ratio_us(1, 3) < TimeValue::ratio_us(1, 2));
+    }
+
+    #[test]
+    fn case_study_durations_are_exact() {
+        // HandleKeyPress: 1e5 instructions on the 22 MIPS MMI processor.
+        let hkp = TimeValue::from_instructions(100_000, 22);
+        assert_eq!(hkp, TimeValue::ratio_us(50_000, 11));
+        assert!((hkp.as_millis_f64() - 4.5454).abs() < 1e-3);
+        // 32-byte TMC message on the 72 kbit/s bus.
+        let msg = TimeValue::from_bytes(32, 72_000);
+        assert_eq!(msg, TimeValue::ratio_us(32_000, 9));
+        assert!((msg.as_millis_f64() - 3.5555).abs() < 1e-3);
+        // 300 messages per 15 minutes = one every 3 s.
+        let period = TimeValue::period_of_rate(300, TimeValue::seconds(15 * 60));
+        assert_eq!(period, TimeValue::seconds(3));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = TimeValue::ratio_us(1, 3);
+        let b = TimeValue::ratio_us(1, 6);
+        assert_eq!(a + b, TimeValue::ratio_us(1, 2));
+        assert_eq!(a - b, TimeValue::ratio_us(1, 6));
+        assert_eq!(b.scale(3), TimeValue::ratio_us(1, 2));
+        assert_eq!(b * 3, TimeValue::ratio_us(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_times_rejected() {
+        let _ = TimeValue::ratio_us(1, 2) - TimeValue::ratio_us(2, 2);
+    }
+
+    #[test]
+    fn quantizer_finds_common_denominator() {
+        let durations = [
+            TimeValue::from_instructions(100_000, 22),  // /11
+            TimeValue::from_instructions(5_000_000, 113), // /113
+            TimeValue::from_bytes(4, 72_000),            // /9 (after reduction: 4000/9? -> den 9)
+            TimeValue::millis(200),
+        ];
+        let q = Quantizer::for_durations(durations.iter());
+        for d in &durations {
+            assert!(q.is_exact(*d), "{d:?} not exact at {q:?}");
+            let ticks = q.to_ticks(*d);
+            assert_eq!(q.from_ticks(ticks), *d);
+        }
+        // 11 * 113 * 9 = 11187 ticks per µs.
+        assert_eq!(q.ticks_per_us(), 11_187);
+    }
+
+    #[test]
+    fn quantizer_falls_back_when_lcm_explodes() {
+        let awkward: Vec<TimeValue> = (1_000_001..1_000_005)
+            .map(|d| TimeValue::ratio_us(1, d))
+            .collect();
+        let q = Quantizer::for_durations(awkward.iter());
+        assert_eq!(q.ticks_per_us(), 1_000);
+        // Rounding happens but stays within half a tick.
+        let t = TimeValue::ratio_us(1, 1_000_001);
+        assert!(q.to_ticks(t) <= 1);
+    }
+
+    #[test]
+    fn tick_roundtrip_and_reporting() {
+        let q = Quantizer::with_ticks_per_us(10);
+        let t = TimeValue::millis(5);
+        assert_eq!(q.to_ticks(t), 50_000);
+        assert_eq!(q.from_ticks(50_000), t);
+        assert!((q.ticks_to_ms(50_000) - 5.0).abs() < 1e-12);
+        assert!((t.as_micros_f64() - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TimeValue::millis(200)), "200.000ms");
+        assert_eq!(format!("{:?}", TimeValue::micros(7)), "7µs");
+        assert_eq!(format!("{:?}", TimeValue::ratio_us(1, 3)), "1/3µs");
+    }
+}

@@ -1,0 +1,177 @@
+//! Atomic clock constraints `x_i − x_j ≺ m`.
+
+use crate::{Bound, Clock};
+use std::fmt;
+
+/// Relational operator of a surface-syntax constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `==`
+    Eq,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Eq => "==",
+            RelOp::Ge => ">=",
+            RelOp::Gt => ">",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An atomic difference constraint in DBM form: `left − right ≺ bound`.
+///
+/// Surface constraints such as `x ≥ 3` are normalised into this form via the
+/// constructors ([`Constraint::upper`], [`Constraint::lower`],
+/// [`Constraint::diff`], [`Constraint::from_rel`]); `x == 3` produces *two*
+/// constraints and therefore has a dedicated helper [`Constraint::equal`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Minuend clock (`i` in `x_i − x_j ≺ m`).
+    pub left: Clock,
+    /// Subtrahend clock (`j`).
+    pub right: Clock,
+    /// The bound `(m, ≺)`.
+    pub bound: Bound,
+}
+
+impl Constraint {
+    /// `clock ≺ m` (upper bound on a single clock).
+    pub fn upper(clock: Clock, bound: Bound) -> Constraint {
+        Constraint {
+            left: clock,
+            right: Clock::REF,
+            bound,
+        }
+    }
+
+    /// `clock ≥ m` / `clock > m` expressed as `x0 − clock ≺ −m`.
+    pub fn lower(clock: Clock, m: i64, strict: bool) -> Constraint {
+        Constraint {
+            left: Clock::REF,
+            right: clock,
+            bound: Bound::new(-m, strict),
+        }
+    }
+
+    /// `left − right ≺ bound`.
+    pub fn diff(left: Clock, right: Clock, bound: Bound) -> Constraint {
+        Constraint { left, right, bound }
+    }
+
+    /// The pair of constraints equivalent to `clock == m`.
+    pub fn equal(clock: Clock, m: i64) -> [Constraint; 2] {
+        [
+            Constraint::upper(clock, Bound::weak(m)),
+            Constraint::lower(clock, m, false),
+        ]
+    }
+
+    /// Normalises a surface constraint `left − right (op) m` into one or two
+    /// DBM constraints.
+    pub fn from_rel(left: Clock, right: Clock, op: RelOp, m: i64) -> Vec<Constraint> {
+        match op {
+            RelOp::Lt => vec![Constraint::diff(left, right, Bound::strict(m))],
+            RelOp::Le => vec![Constraint::diff(left, right, Bound::weak(m))],
+            RelOp::Gt => vec![Constraint::diff(right, left, Bound::strict(-m))],
+            RelOp::Ge => vec![Constraint::diff(right, left, Bound::weak(-m))],
+            RelOp::Eq => vec![
+                Constraint::diff(left, right, Bound::weak(m)),
+                Constraint::diff(right, left, Bound::weak(-m)),
+            ],
+        }
+    }
+
+    /// The negation of this constraint (`¬(x − y ≺ m)` is `y − x ≺' −m` with
+    /// flipped strictness).
+    pub fn negated(&self) -> Constraint {
+        Constraint {
+            left: self.right,
+            right: self.left,
+            bound: self.bound.negated(),
+        }
+    }
+
+    /// Evaluates the constraint on a concrete valuation given as clock values
+    /// indexed by clock index (index 0 must be 0).
+    pub fn holds(&self, valuation: &[i64]) -> bool {
+        let l = valuation[self.left.index()];
+        let r = valuation[self.right.index()];
+        self.bound.admits(l - r)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} - {} {}", self.left, self.right, self.bound)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_and_lower() {
+        let c = Constraint::upper(Clock(1), Bound::weak(5));
+        assert_eq!(c.left, Clock(1));
+        assert_eq!(c.right, Clock::REF);
+        assert!(c.holds(&[0, 5]));
+        assert!(!c.holds(&[0, 6]));
+
+        let c = Constraint::lower(Clock(1), 3, false);
+        assert!(c.holds(&[0, 3]));
+        assert!(c.holds(&[0, 10]));
+        assert!(!c.holds(&[0, 2]));
+
+        let c = Constraint::lower(Clock(1), 3, true); // x > 3
+        assert!(!c.holds(&[0, 3]));
+        assert!(c.holds(&[0, 4]));
+    }
+
+    #[test]
+    fn from_rel_covers_all_ops() {
+        // x - y >= 2  ≡  y - x <= -2
+        let cs = Constraint::from_rel(Clock(1), Clock(2), RelOp::Ge, 2);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].left, Clock(2));
+        assert_eq!(cs[0].bound, Bound::weak(-2));
+
+        let cs = Constraint::from_rel(Clock(1), Clock::REF, RelOp::Eq, 4);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.iter().all(|c| c.holds(&[0, 4])));
+        assert!(!cs.iter().all(|c| c.holds(&[0, 5])));
+        assert!(!cs.iter().all(|c| c.holds(&[0, 3])));
+
+        let cs = Constraint::from_rel(Clock(1), Clock::REF, RelOp::Gt, 4);
+        assert!(cs[0].holds(&[0, 5]));
+        assert!(!cs[0].holds(&[0, 4]));
+    }
+
+    #[test]
+    fn negation_partitions_valuations() {
+        let c = Constraint::upper(Clock(1), Bound::weak(5));
+        let n = c.negated();
+        for v in 0..10 {
+            assert_ne!(c.holds(&[0, v]), n.holds(&[0, v]), "valuation {v}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Federations: finite unions of DBM zones over the same clocks.
+//!
+//! The forward reachability algorithm itself only needs single zones, but
+//! federations are convenient for representing target sets of queries, for the
+//! passed-list per discrete state, and in tests.
+
+use crate::{Clock, Constraint, Dbm, Relation};
+use std::fmt;
+
+/// A finite union of zones (possibly empty) over the same set of clocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Federation {
+    num_clocks: usize,
+    zones: Vec<Dbm>,
+}
+
+impl Federation {
+    /// The empty federation (no valuations).
+    pub fn empty(num_clocks: usize) -> Federation {
+        Federation {
+            num_clocks,
+            zones: Vec::new(),
+        }
+    }
+
+    /// A federation containing a single zone.
+    pub fn from_zone(zone: Dbm) -> Federation {
+        let num_clocks = zone.num_clocks();
+        let mut f = Federation::empty(num_clocks);
+        f.add(zone);
+        f
+    }
+
+    /// The federation of all non-negative valuations.
+    pub fn universe(num_clocks: usize) -> Federation {
+        Federation::from_zone(Dbm::universe(num_clocks))
+    }
+
+    /// Number of real clocks.
+    pub fn num_clocks(&self) -> usize {
+        self.num_clocks
+    }
+
+    /// Number of zones currently stored (after inclusion reduction).
+    pub fn size(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// `true` iff the federation contains no valuation.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// Iterates over the member zones.
+    pub fn iter(&self) -> impl Iterator<Item = &Dbm> {
+        self.zones.iter()
+    }
+
+    /// Adds a zone, discarding it if it is empty or already included in a
+    /// stored zone, and removing stored zones that it subsumes.
+    ///
+    /// Returns `true` if the federation grew (the zone was not subsumed).
+    pub fn add(&mut self, zone: Dbm) -> bool {
+        if zone.is_empty() {
+            return false;
+        }
+        assert_eq!(zone.num_clocks(), self.num_clocks, "dimension mismatch");
+        for existing in &self.zones {
+            match zone.relation(existing) {
+                Relation::Equal | Relation::Subset => return false,
+                _ => {}
+            }
+        }
+        self.zones
+            .retain(|existing| !matches!(existing.relation(&zone), Relation::Subset));
+        self.zones.push(zone);
+        true
+    }
+
+    /// `true` iff the valuation is contained in some member zone.
+    pub fn contains_point(&self, valuation: &[i64]) -> bool {
+        self.zones.iter().any(|z| z.contains_point(valuation))
+    }
+
+    /// `true` iff the given zone is included in some single member zone.
+    ///
+    /// This is the (incomplete but sound) inclusion test used by zone-based
+    /// passed lists: a zone already covered by one stored zone need not be
+    /// explored again.
+    pub fn includes_zone(&self, zone: &Dbm) -> bool {
+        self.zones.iter().any(|z| z.includes(zone))
+    }
+
+    /// Intersects every member zone with a constraint, dropping emptied zones.
+    pub fn constrain(&mut self, c: &Constraint) -> &mut Self {
+        for z in &mut self.zones {
+            z.and(c);
+        }
+        self.zones.retain(|z| !z.is_empty());
+        self
+    }
+
+    /// Applies the delay operator to every member zone.
+    pub fn up(&mut self) -> &mut Self {
+        for z in &mut self.zones {
+            z.up();
+        }
+        self
+    }
+
+    /// Resets a clock in every member zone.
+    pub fn reset(&mut self, x: Clock, value: i64) -> &mut Self {
+        for z in &mut self.zones {
+            z.reset(x, value);
+        }
+        self
+    }
+
+    /// Union with another federation.
+    pub fn union(&mut self, other: &Federation) -> &mut Self {
+        for z in &other.zones {
+            self.add(z.clone());
+        }
+        self
+    }
+
+    /// The tightest upper bound of a clock across all member zones
+    /// (`∞`-aware); `None` if the federation is empty.
+    pub fn sup(&self, x: Clock) -> Option<crate::Bound> {
+        self.zones
+            .iter()
+            .map(|z| z.sup(x))
+            .max_by(|a, b| a.cmp(b))
+    }
+}
+
+impl fmt::Display for Federation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.zones.is_empty() {
+            return write!(f, "false");
+        }
+        for (i, z) in self.zones.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "({z})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bound;
+
+    fn zone_between(lo: i64, hi: i64) -> Dbm {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(hi));
+        z.constrain(Clock::REF, Clock(1), Bound::weak(-lo));
+        z
+    }
+
+    #[test]
+    fn empty_federation() {
+        let f = Federation::empty(1);
+        assert!(f.is_empty());
+        assert_eq!(f.size(), 0);
+        assert!(!f.contains_point(&[0, 0]));
+        assert_eq!(f.sup(Clock(1)), None);
+    }
+
+    #[test]
+    fn add_subsumed_zone_is_rejected() {
+        let mut f = Federation::from_zone(zone_between(0, 10));
+        assert!(!f.add(zone_between(2, 5)));
+        assert_eq!(f.size(), 1);
+        // But a zone subsuming the existing one replaces it.
+        assert!(f.add(zone_between(0, 20)));
+        assert_eq!(f.size(), 1);
+        assert!(f.contains_point(&[0, 15]));
+    }
+
+    #[test]
+    fn disjoint_zones_coexist() {
+        let mut f = Federation::empty(1);
+        f.add(zone_between(0, 2));
+        f.add(zone_between(5, 7));
+        assert_eq!(f.size(), 2);
+        assert!(f.contains_point(&[0, 1]));
+        assert!(!f.contains_point(&[0, 3]));
+        assert!(f.contains_point(&[0, 6]));
+        assert_eq!(f.sup(Clock(1)), Some(Bound::weak(7)));
+    }
+
+    #[test]
+    fn includes_zone_is_per_member() {
+        let mut f = Federation::empty(1);
+        f.add(zone_between(0, 2));
+        f.add(zone_between(5, 7));
+        assert!(f.includes_zone(&zone_between(1, 2)));
+        // The union covers [0,2] ∪ [5,7] but no single zone covers [1,6].
+        assert!(!f.includes_zone(&zone_between(1, 6)));
+    }
+
+    #[test]
+    fn constrain_drops_emptied_members() {
+        let mut f = Federation::empty(1);
+        f.add(zone_between(0, 2));
+        f.add(zone_between(5, 7));
+        f.constrain(&Constraint::upper(Clock(1), Bound::weak(3)));
+        assert_eq!(f.size(), 1);
+        assert!(f.contains_point(&[0, 1]));
+        assert!(!f.contains_point(&[0, 6]));
+    }
+
+    #[test]
+    fn union_and_up() {
+        let mut f = Federation::from_zone(zone_between(0, 1));
+        let g = Federation::from_zone(zone_between(10, 11));
+        f.union(&g);
+        assert_eq!(f.size(), 2);
+        f.up();
+        assert!(f.contains_point(&[0, 100]));
+    }
+
+    #[test]
+    fn reset_applies_to_all_members() {
+        let mut f = Federation::empty(1);
+        f.add(zone_between(0, 2));
+        f.add(zone_between(5, 7));
+        f.reset(Clock(1), 0);
+        assert!(f.contains_point(&[0, 0]));
+        assert!(!f.contains_point(&[0, 6]));
+    }
+
+    #[test]
+    fn empty_zone_not_added() {
+        let mut f = Federation::empty(1);
+        assert!(!f.add(Dbm::empty(1)));
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,867 @@
+//! The [`Dbm`] type and its zone operations.
+
+use crate::{Bound, Clock, Constraint};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Result of comparing two zones over the same clocks, see [`Dbm::relation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// The zones contain exactly the same valuations.
+    Equal,
+    /// The left zone is strictly contained in the right zone.
+    Subset,
+    /// The left zone strictly contains the right zone.
+    Superset,
+    /// Neither zone contains the other.
+    Incomparable,
+}
+
+/// A difference bound matrix over `num_clocks` real clocks plus the reference
+/// clock.
+///
+/// Invariant maintained by every public operation: the matrix is *canonical*
+/// (closed under shortest paths) and consistently flags emptiness, unless the
+/// documentation of an operation says otherwise.  All mutating operations keep
+/// clocks non-negative.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dbm {
+    dim: usize,
+    empty: bool,
+    m: Vec<Bound>,
+}
+
+impl Dbm {
+    /// The zone containing only the origin (all clocks equal to zero).
+    pub fn zero(num_clocks: usize) -> Dbm {
+        let dim = num_clocks + 1;
+        Dbm {
+            dim,
+            empty: false,
+            m: vec![Bound::LE_ZERO; dim * dim],
+        }
+    }
+
+    /// The zone of all valuations with non-negative clocks.
+    pub fn universe(num_clocks: usize) -> Dbm {
+        let dim = num_clocks + 1;
+        let mut d = Dbm {
+            dim,
+            empty: false,
+            m: vec![Bound::INFINITY; dim * dim],
+        };
+        for i in 0..dim {
+            *d.at_mut(i, i) = Bound::LE_ZERO;
+            // x0 - xi <= 0, i.e. xi >= 0
+            *d.at_mut(0, i) = Bound::LE_ZERO;
+        }
+        d
+    }
+
+    /// An explicitly empty zone.
+    pub fn empty(num_clocks: usize) -> Dbm {
+        let mut d = Dbm::zero(num_clocks);
+        d.empty = true;
+        d
+    }
+
+    /// Number of real clocks (dimension minus the reference clock).
+    #[inline]
+    pub fn num_clocks(&self) -> usize {
+        self.dim - 1
+    }
+
+    /// Matrix dimension (number of clocks + 1).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> Bound {
+        self.m[i * self.dim + j]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, i: usize, j: usize) -> &mut Bound {
+        &mut self.m[i * self.dim + j]
+    }
+
+    /// The bound on `i − j` stored in the matrix.
+    #[inline]
+    pub fn get(&self, i: Clock, j: Clock) -> Bound {
+        self.at(i.index(), j.index())
+    }
+
+    /// Sets the bound on `i − j` directly **without** restoring the canonical
+    /// form; callers must invoke [`Dbm::close`] before using any query.
+    pub fn set_raw(&mut self, i: Clock, j: Clock, b: Bound) {
+        let (i, j) = (i.index(), j.index());
+        *self.at_mut(i, j) = b;
+    }
+
+    /// `true` iff the zone contains no valuation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Upper bound of a single clock (`x − x0`), `∞` if unbounded.
+    #[inline]
+    pub fn sup(&self, x: Clock) -> Bound {
+        self.at(x.index(), 0)
+    }
+
+    /// Lower bound of a single clock as a pair `(value, strict)`; the clock is
+    /// `≥ value` (or `> value` when strict).
+    #[inline]
+    pub fn inf(&self, x: Clock) -> (i64, bool) {
+        let b = self.at(0, x.index());
+        (-b.constant(), b.is_strict())
+    }
+
+    /// Canonicalizes the matrix with Floyd–Warshall and detects emptiness.
+    ///
+    /// All other operations keep the matrix canonical, so this is only needed
+    /// after a sequence of [`Dbm::set_raw`] calls.
+    pub fn close(&mut self) {
+        if self.empty {
+            return;
+        }
+        let n = self.dim;
+        for k in 0..n {
+            for i in 0..n {
+                let dik = self.at(i, k);
+                if dik.is_infinity() {
+                    continue;
+                }
+                for j in 0..n {
+                    let via = dik + self.at(k, j);
+                    if via < self.at(i, j) {
+                        *self.at_mut(i, j) = via;
+                    }
+                }
+            }
+            if self.at(k, k) < Bound::LE_ZERO {
+                self.empty = true;
+                return;
+            }
+        }
+        for i in 0..n {
+            if self.at(i, i) < Bound::LE_ZERO {
+                self.empty = true;
+                return;
+            }
+            *self.at_mut(i, i) = Bound::LE_ZERO;
+        }
+    }
+
+    /// Intersects the zone with the constraint `c.left − c.right ≺ c.bound`,
+    /// restoring the canonical form incrementally.
+    pub fn constrain(&mut self, left: Clock, right: Clock, bound: Bound) -> &mut Self {
+        if self.empty || bound.is_infinity() {
+            return self;
+        }
+        let (x, y) = (left.index(), right.index());
+        debug_assert!(x < self.dim && y < self.dim);
+        if self.at(y, x) + bound < Bound::LE_ZERO {
+            self.empty = true;
+            return self;
+        }
+        if bound < self.at(x, y) {
+            *self.at_mut(x, y) = bound;
+            // Restore the canonical form: the matrix was canonical before, so
+            // every new shortest path uses the tightened edge (x, y) at most
+            // once, i.e. d[i][j] = min(d[i][j], d[i][x] + bound + d[y][j]).
+            let n = self.dim;
+            for i in 0..n {
+                let dix = self.at(i, x);
+                if dix.is_infinity() {
+                    continue;
+                }
+                let via_ix = dix + bound;
+                for j in 0..n {
+                    let via = via_ix + self.at(y, j);
+                    if via < self.at(i, j) {
+                        *self.at_mut(i, j) = via;
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Intersects with a [`Constraint`].
+    pub fn and(&mut self, c: &Constraint) -> &mut Self {
+        self.constrain(c.left, c.right, c.bound)
+    }
+
+    /// Intersects with a conjunction of constraints.
+    pub fn and_all<'a, I: IntoIterator<Item = &'a Constraint>>(&mut self, cs: I) -> &mut Self {
+        for c in cs {
+            if self.empty {
+                break;
+            }
+            self.and(c);
+        }
+        self
+    }
+
+    /// `true` iff the zone has a non-empty intersection with the constraint.
+    pub fn satisfies(&self, c: &Constraint) -> bool {
+        if self.empty {
+            return false;
+        }
+        if c.bound.is_infinity() {
+            return true;
+        }
+        !(self.at(c.right.index(), c.left.index()) + c.bound < Bound::LE_ZERO)
+    }
+
+    /// `true` iff *every* valuation of the zone satisfies the constraint,
+    /// i.e. the stored bound on `left − right` is at least as tight.
+    pub fn implies(&self, c: &Constraint) -> bool {
+        if self.empty {
+            return true;
+        }
+        self.at(c.left.index(), c.right.index()) <= c.bound
+    }
+
+    /// Delay operator (`up`, also written `Z↑`): removes all upper bounds on
+    /// individual clocks, letting arbitrary time pass.
+    pub fn up(&mut self) -> &mut Self {
+        if self.empty {
+            return self;
+        }
+        for i in 1..self.dim {
+            *self.at_mut(i, 0) = Bound::INFINITY;
+        }
+        self
+    }
+
+    /// Past operator (`down`, `Z↓`): the set of valuations from which a
+    /// valuation in the zone is reachable by delaying.
+    pub fn down(&mut self) -> &mut Self {
+        if self.empty {
+            return self;
+        }
+        for j in 1..self.dim {
+            *self.at_mut(0, j) = Bound::LE_ZERO;
+            for i in 1..self.dim {
+                let dij = self.at(i, j);
+                if dij < self.at(0, j) {
+                    *self.at_mut(0, j) = dij;
+                }
+            }
+        }
+        self
+    }
+
+    /// Removes all constraints on clock `x` (existential quantification),
+    /// keeping it non-negative.
+    pub fn free(&mut self, x: Clock) -> &mut Self {
+        if self.empty {
+            return self;
+        }
+        let x = x.index();
+        debug_assert!(x > 0);
+        for j in 0..self.dim {
+            if j != x {
+                *self.at_mut(x, j) = Bound::INFINITY;
+                let dj0 = self.at(j, 0);
+                *self.at_mut(j, x) = dj0;
+            }
+        }
+        // x >= 0
+        *self.at_mut(0, x) = Bound::LE_ZERO;
+        *self.at_mut(x, 0) = Bound::INFINITY;
+        self
+    }
+
+    /// Resets clock `x` to the constant `value`.
+    pub fn reset(&mut self, x: Clock, value: i64) -> &mut Self {
+        if self.empty {
+            return self;
+        }
+        let x = x.index();
+        debug_assert!(x > 0, "cannot reset the reference clock");
+        let pos = Bound::weak(value);
+        let neg = Bound::weak(-value);
+        for j in 0..self.dim {
+            if j != x {
+                let d0j = self.at(0, j);
+                *self.at_mut(x, j) = pos + d0j;
+                let dj0 = self.at(j, 0);
+                *self.at_mut(j, x) = dj0 + neg;
+            }
+        }
+        *self.at_mut(x, x) = Bound::LE_ZERO;
+        self
+    }
+
+    /// Assigns `x := y` (clock copy).
+    pub fn copy_clock(&mut self, x: Clock, y: Clock) -> &mut Self {
+        if self.empty || x == y {
+            return self;
+        }
+        let (x, y) = (x.index(), y.index());
+        debug_assert!(x > 0);
+        for j in 0..self.dim {
+            if j != x {
+                let dyj = self.at(y, j);
+                *self.at_mut(x, j) = dyj;
+                let djy = self.at(j, y);
+                *self.at_mut(j, x) = djy;
+            }
+        }
+        *self.at_mut(x, y) = Bound::LE_ZERO;
+        *self.at_mut(y, x) = Bound::LE_ZERO;
+        *self.at_mut(x, x) = Bound::LE_ZERO;
+        self
+    }
+
+    /// Shifts clock `x` by `delta` (`x := x + delta`), clamping at zero.
+    pub fn shift(&mut self, x: Clock, delta: i64) -> &mut Self {
+        if self.empty {
+            return self;
+        }
+        let xi = x.index();
+        debug_assert!(xi > 0);
+        let pos = Bound::weak(delta);
+        let neg = Bound::weak(-delta);
+        for j in 0..self.dim {
+            if j != xi {
+                if !self.at(xi, j).is_infinity() {
+                    let b = self.at(xi, j) + pos;
+                    *self.at_mut(xi, j) = b;
+                }
+                if !self.at(j, xi).is_infinity() {
+                    let b = self.at(j, xi) + neg;
+                    *self.at_mut(j, xi) = b;
+                }
+            }
+        }
+        // Re-establish non-negativity and canonical form.
+        let lower = self.at(0, xi).min(Bound::LE_ZERO);
+        *self.at_mut(0, xi) = lower;
+        self.close();
+        self
+    }
+
+    /// Element-wise intersection of two zones over the same clocks.
+    pub fn intersect(&mut self, other: &Dbm) -> &mut Self {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        if self.empty {
+            return self;
+        }
+        if other.empty {
+            self.empty = true;
+            return self;
+        }
+        let mut changed = false;
+        for i in 0..self.dim * self.dim {
+            if other.m[i] < self.m[i] {
+                self.m[i] = other.m[i];
+                changed = true;
+            }
+        }
+        if changed {
+            self.close();
+        }
+        self
+    }
+
+    /// Compares two canonical zones.
+    pub fn relation(&self, other: &Dbm) -> Relation {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        match (self.empty, other.empty) {
+            (true, true) => return Relation::Equal,
+            (true, false) => return Relation::Subset,
+            (false, true) => return Relation::Superset,
+            (false, false) => {}
+        }
+        let mut le = true; // self ⊆ other
+        let mut ge = true; // self ⊇ other
+        for i in 0..self.dim * self.dim {
+            if self.m[i] > other.m[i] {
+                le = false;
+            }
+            if self.m[i] < other.m[i] {
+                ge = false;
+            }
+            if !le && !ge {
+                return Relation::Incomparable;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Relation::Equal,
+            (true, false) => Relation::Subset,
+            (false, true) => Relation::Superset,
+            (false, false) => Relation::Incomparable,
+        }
+    }
+
+    /// `true` iff this zone contains every valuation of `other`.
+    pub fn includes(&self, other: &Dbm) -> bool {
+        matches!(self.relation(other), Relation::Equal | Relation::Superset)
+    }
+
+    /// `true` iff the concrete valuation (indexed by clock, entry 0 ignored)
+    /// lies inside the zone.
+    pub fn contains_point(&self, valuation: &[i64]) -> bool {
+        if self.empty {
+            return false;
+        }
+        assert!(valuation.len() >= self.dim);
+        for i in 0..self.dim {
+            let vi = if i == 0 { 0 } else { valuation[i] };
+            for j in 0..self.dim {
+                let vj = if j == 0 { 0 } else { valuation[j] };
+                if !self.at(i, j).admits(vi - vj) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Classical maximum-bounds extrapolation (`ExtraM`): widens every bound
+    /// that exceeds the maximal constant `max_bounds[i]` the clock is ever
+    /// compared against.  `max_bounds[0]` is ignored; missing entries default
+    /// to `0`.
+    ///
+    /// This abstraction is sound for timed automata whose guards and
+    /// invariants contain no difference constraints (`x − y ≺ c`), which holds
+    /// for every automaton produced by the architecture front-end.
+    pub fn extrapolate_max_bounds(&mut self, max_bounds: &[i64]) -> &mut Self {
+        if self.empty {
+            return self;
+        }
+        let k = |i: usize| -> i64 { max_bounds.get(i).copied().unwrap_or(0) };
+        let mut changed = false;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i == j {
+                    continue;
+                }
+                let b = self.at(i, j);
+                if i != 0 && b > Bound::weak(k(i)) && !b.is_infinity() {
+                    *self.at_mut(i, j) = Bound::INFINITY;
+                    changed = true;
+                } else if !b.is_infinity() && b < Bound::strict(-k(j)) {
+                    *self.at_mut(i, j) = Bound::strict(-k(j));
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            // Keep x0 row consistent: clocks stay non-negative.
+            for j in 1..self.dim {
+                let b = self.at(0, j).min(Bound::LE_ZERO);
+                *self.at_mut(0, j) = b;
+            }
+            self.close();
+        }
+        self
+    }
+
+    /// Lower/upper-bounds extrapolation (`ExtraLU`): like
+    /// [`Dbm::extrapolate_max_bounds`] but distinguishes the maximal constants
+    /// used in lower bounds (`lower[i]`, guards of the form `x ≥ c` / `x > c`)
+    /// from those used in upper bounds (`upper[i]`, `x ≤ c` / `x < c` and
+    /// invariants).  Coarser than `ExtraM`, still sound for diagonal-free
+    /// automata.
+    pub fn extrapolate_lu(&mut self, lower: &[i64], upper: &[i64]) -> &mut Self {
+        if self.empty {
+            return self;
+        }
+        let l = |i: usize| -> i64 { lower.get(i).copied().unwrap_or(0) };
+        let u = |i: usize| -> i64 { upper.get(i).copied().unwrap_or(0) };
+        let mut changed = false;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i == j {
+                    continue;
+                }
+                let b = self.at(i, j);
+                if i != 0 && !b.is_infinity() && b > Bound::weak(l(i)) {
+                    *self.at_mut(i, j) = Bound::INFINITY;
+                    changed = true;
+                } else if !b.is_infinity() && b < Bound::strict(-u(j)) {
+                    *self.at_mut(i, j) = Bound::strict(-u(j));
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            for j in 1..self.dim {
+                let b = self.at(0, j).min(Bound::LE_ZERO);
+                *self.at_mut(0, j) = b;
+            }
+            self.close();
+        }
+        self
+    }
+
+    /// A stable 64-bit fingerprint of the canonical matrix, usable as a hash
+    /// key for passed-list lookups.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl Hash for Dbm {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.empty.hash(state);
+        if !self.empty {
+            for b in &self.m {
+                b.raw().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            return write!(f, "Dbm(empty, {} clocks)", self.num_clocks());
+        }
+        writeln!(f, "Dbm({} clocks)", self.num_clocks())?;
+        for i in 0..self.dim {
+            write!(f, "  ")?;
+            for j in 0..self.dim {
+                write!(f, "{:>10} ", format!("{}", self.at(i, j)))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            return write!(f, "false");
+        }
+        let mut first = true;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i == j {
+                    continue;
+                }
+                let b = self.at(i, j);
+                if b.is_infinity() || (i == 0 && b == Bound::LE_ZERO) {
+                    continue;
+                }
+                if !first {
+                    write!(f, " ∧ ")?;
+                }
+                first = false;
+                if j == 0 {
+                    write!(f, "x{i} {b}")?;
+                } else if i == 0 {
+                    let op = if b.is_strict() { ">" } else { ">=" };
+                    write!(f, "x{j} {op} {}", -b.constant())?;
+                } else {
+                    write!(f, "x{i}-x{j} {b}")?;
+                }
+            }
+        }
+        if first {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelOp;
+
+    fn x() -> Clock {
+        Clock(1)
+    }
+    fn y() -> Clock {
+        Clock(2)
+    }
+
+    #[test]
+    fn zero_zone_is_origin() {
+        let z = Dbm::zero(2);
+        assert!(!z.is_empty());
+        assert!(z.contains_point(&[0, 0, 0]));
+        assert!(!z.contains_point(&[0, 1, 0]));
+        assert_eq!(z.sup(x()), Bound::weak(0));
+        assert_eq!(z.inf(x()), (0, false));
+    }
+
+    #[test]
+    fn universe_contains_everything_nonnegative() {
+        let u = Dbm::universe(2);
+        assert!(u.contains_point(&[0, 0, 0]));
+        assert!(u.contains_point(&[0, 1000, 3]));
+        assert_eq!(u.sup(x()), Bound::INFINITY);
+    }
+
+    #[test]
+    fn up_allows_uniform_delay() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        assert!(z.contains_point(&[0, 5, 5]));
+        assert!(!z.contains_point(&[0, 5, 4])); // clocks drift together
+        assert_eq!(z.sup(x()), Bound::INFINITY);
+        assert_eq!(z.get(x(), y()), Bound::weak(0));
+    }
+
+    #[test]
+    fn constrain_and_emptiness() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(x(), Clock::REF, Bound::weak(10)); // x <= 10
+        z.constrain(Clock::REF, x(), Bound::weak(-4)); // x >= 4
+        assert!(!z.is_empty());
+        assert!(z.contains_point(&[0, 4, 4]));
+        assert!(z.contains_point(&[0, 10, 10]));
+        assert!(!z.contains_point(&[0, 3, 3]));
+        // Now make it empty: x < 4
+        z.constrain(x(), Clock::REF, Bound::strict(4));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn constrain_is_idempotent_for_weaker_bounds() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(5));
+        let snapshot = z.clone();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(9)); // weaker, no effect
+        assert_eq!(z, snapshot);
+    }
+
+    #[test]
+    fn reset_pins_single_clock() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(x(), Clock::REF, Bound::weak(10));
+        z.reset(y(), 0);
+        // Now y = 0, x in [0, 10], and x - y = x.
+        assert!(z.contains_point(&[0, 7, 0]));
+        assert!(!z.contains_point(&[0, 7, 1]));
+        assert_eq!(z.sup(y()), Bound::weak(0));
+        assert_eq!(z.get(x(), y()), Bound::weak(10));
+    }
+
+    #[test]
+    fn reset_to_nonzero_value() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.reset(Clock(1), 5);
+        assert!(z.contains_point(&[0, 5]));
+        assert!(!z.contains_point(&[0, 4]));
+        assert_eq!(z.sup(Clock(1)), Bound::weak(5));
+        assert_eq!(z.inf(Clock(1)), (5, false));
+    }
+
+    #[test]
+    fn free_removes_constraints() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(x(), Clock::REF, Bound::weak(3));
+        z.free(x());
+        assert!(z.contains_point(&[0, 100, 2]));
+        assert!(z.contains_point(&[0, 0, 2]));
+        // y still bounded by x's old constraint? y was only bounded via x <= 3 and x == y
+        assert!(z.contains_point(&[0, 50, 3]));
+        assert!(!z.contains_point(&[0, 50, 4]));
+    }
+
+    #[test]
+    fn copy_clock_equates_clocks() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(y(), Clock::REF, Bound::weak(4));
+        z.copy_clock(x(), y());
+        assert!(z.contains_point(&[0, 2, 2]));
+        assert!(!z.contains_point(&[0, 2, 3]));
+        assert_eq!(z.sup(x()), Bound::weak(4));
+    }
+
+    #[test]
+    fn shift_moves_clock() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(x(), Clock::REF, Bound::weak(3));
+        z.shift(x(), 10);
+        assert!(z.contains_point(&[0, 10, 0]));
+        assert!(z.contains_point(&[0, 13, 3]));
+        assert!(!z.contains_point(&[0, 9, 0]));
+        assert_eq!(z.sup(x()), Bound::weak(13));
+    }
+
+    #[test]
+    fn down_computes_past() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock::REF, Clock(1), Bound::weak(-5)); // x >= 5
+        z.down();
+        // Every valuation with x <= anything can delay into x >= 5, so past is x >= 0.
+        assert!(z.contains_point(&[0, 0]));
+        assert!(z.contains_point(&[0, 7]));
+    }
+
+    #[test]
+    fn relation_detects_subset() {
+        let mut big = Dbm::zero(1);
+        big.up();
+        big.constrain(Clock(1), Clock::REF, Bound::weak(10));
+        let mut small = Dbm::zero(1);
+        small.up();
+        small.constrain(Clock(1), Clock::REF, Bound::weak(5));
+        assert_eq!(small.relation(&big), Relation::Subset);
+        assert_eq!(big.relation(&small), Relation::Superset);
+        assert_eq!(big.relation(&big.clone()), Relation::Equal);
+        assert!(big.includes(&small));
+        assert!(!small.includes(&big));
+    }
+
+    #[test]
+    fn relation_incomparable() {
+        let mut a = Dbm::zero(1);
+        a.up();
+        a.constrain(Clock(1), Clock::REF, Bound::weak(5)); // x in [0,5]
+        let mut b = Dbm::zero(1);
+        b.up();
+        b.constrain(Clock::REF, Clock(1), Bound::weak(-3)); // x >= 3
+        assert_eq!(a.relation(&b), Relation::Incomparable);
+    }
+
+    #[test]
+    fn empty_zone_relations() {
+        let e = Dbm::empty(1);
+        let z = Dbm::zero(1);
+        assert_eq!(e.relation(&z), Relation::Subset);
+        assert_eq!(z.relation(&e), Relation::Superset);
+        assert_eq!(e.relation(&Dbm::empty(1)), Relation::Equal);
+        assert!(z.includes(&e));
+    }
+
+    #[test]
+    fn intersect_zones() {
+        let mut a = Dbm::zero(1);
+        a.up();
+        a.constrain(Clock(1), Clock::REF, Bound::weak(5));
+        let mut b = Dbm::zero(1);
+        b.up();
+        b.constrain(Clock::REF, Clock(1), Bound::weak(-3));
+        a.intersect(&b);
+        assert!(a.contains_point(&[0, 3]));
+        assert!(a.contains_point(&[0, 5]));
+        assert!(!a.contains_point(&[0, 2]));
+        assert!(!a.contains_point(&[0, 6]));
+
+        let mut c = Dbm::zero(1);
+        c.up();
+        c.constrain(Clock(1), Clock::REF, Bound::strict(3)); // x < 3
+        a.intersect(&c);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn satisfies_and_implies() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(5)); // x in [0,5]
+        let le_10 = Constraint::upper(Clock(1), Bound::weak(10));
+        let ge_3 = Constraint::lower(Clock(1), 3, false);
+        let ge_7 = Constraint::lower(Clock(1), 7, false);
+        assert!(z.satisfies(&le_10));
+        assert!(z.implies(&le_10));
+        assert!(z.satisfies(&ge_3));
+        assert!(!z.implies(&ge_3));
+        assert!(!z.satisfies(&ge_7));
+    }
+
+    #[test]
+    fn extrapolation_widens_large_bounds() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(1_000));
+        z.constrain(Clock::REF, Clock(1), Bound::weak(-900)); // x in [900, 1000]
+        let mut e = z.clone();
+        e.extrapolate_max_bounds(&[0, 10]); // max constant for x is 10
+        // After extrapolation the zone must include the original zone.
+        assert!(e.includes(&z));
+        // And bounds beyond the max constant are gone.
+        assert_eq!(e.sup(Clock(1)), Bound::INFINITY);
+    }
+
+    #[test]
+    fn extrapolation_preserves_small_zones() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(5));
+        let orig = z.clone();
+        z.extrapolate_max_bounds(&[0, 10]);
+        assert_eq!(z.relation(&orig), Relation::Equal);
+    }
+
+    #[test]
+    fn lu_extrapolation_is_coarser_or_equal_to_m() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(800));
+        z.constrain(Clock::REF, Clock(2), Bound::weak(-300));
+        let mut m = z.clone();
+        m.extrapolate_max_bounds(&[0, 10, 10]);
+        let mut lu = z.clone();
+        lu.extrapolate_lu(&[0, 10, 10], &[0, 10, 10]);
+        // With equal L and U they coincide with ExtraM here.
+        assert!(lu.includes(&z));
+        assert!(m.includes(&z));
+    }
+
+    #[test]
+    fn close_detects_negative_cycle() {
+        let mut z = Dbm::universe(1);
+        z.set_raw(Clock(1), Clock::REF, Bound::weak(2)); // x <= 2
+        z.set_raw(Clock::REF, Clock(1), Bound::weak(-5)); // x >= 5
+        z.close();
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_stable_for_equal_zones() {
+        let mut a = Dbm::zero(2);
+        a.up();
+        a.constrain(x(), Clock::REF, Bound::weak(5));
+        let mut b = Dbm::zero(2);
+        b.up();
+        b.constrain(x(), Clock::REF, Bound::weak(5));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn from_rel_roundtrip_through_zone() {
+        let mut z = Dbm::universe(2);
+        for c in Constraint::from_rel(x(), Clock::REF, RelOp::Eq, 4) {
+            z.and(&c);
+        }
+        assert!(z.contains_point(&[0, 4, 9]));
+        assert!(!z.contains_point(&[0, 5, 9]));
+    }
+
+    #[test]
+    fn operations_on_empty_zone_are_noops() {
+        let mut e = Dbm::empty(2);
+        e.up();
+        e.reset(x(), 3);
+        e.free(y());
+        e.constrain(x(), Clock::REF, Bound::weak(5));
+        assert!(e.is_empty());
+        assert!(!e.contains_point(&[0, 0, 0]));
+    }
+}

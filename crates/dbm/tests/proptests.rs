@@ -1,0 +1,227 @@
+//! Property-based tests for the DBM library.
+//!
+//! The strategy generates random zones by applying random sequences of
+//! operations (delay, constrain, reset) to the origin zone, plus random
+//! concrete valuations, and checks the algebraic laws that forward
+//! reachability relies on.
+
+use proptest::prelude::*;
+use tempo_dbm::{Bound, Clock, Constraint, Dbm, Federation, Relation};
+
+const NUM_CLOCKS: usize = 3;
+
+/// One symbolic operation applied while generating a random zone.
+#[derive(Clone, Debug)]
+enum Op {
+    Up,
+    UpperBound { clock: u32, value: i64, strict: bool },
+    LowerBound { clock: u32, value: i64, strict: bool },
+    Diff { a: u32, b: u32, value: i64, strict: bool },
+    Reset { clock: u32, value: i64 },
+    Free { clock: u32 },
+}
+
+fn clock_idx() -> impl Strategy<Value = u32> {
+    1..=(NUM_CLOCKS as u32)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Up),
+        (clock_idx(), 0i64..50, any::<bool>())
+            .prop_map(|(clock, value, strict)| Op::UpperBound { clock, value, strict }),
+        (clock_idx(), 0i64..50, any::<bool>())
+            .prop_map(|(clock, value, strict)| Op::LowerBound { clock, value, strict }),
+        (clock_idx(), clock_idx(), -30i64..30, any::<bool>())
+            .prop_map(|(a, b, value, strict)| Op::Diff { a, b, value, strict }),
+        (clock_idx(), 0i64..20).prop_map(|(clock, value)| Op::Reset { clock, value }),
+        clock_idx().prop_map(|clock| Op::Free { clock }),
+    ]
+}
+
+fn apply(z: &mut Dbm, op: &Op) {
+    match *op {
+        Op::Up => {
+            z.up();
+        }
+        Op::UpperBound { clock, value, strict } => {
+            z.constrain(Clock(clock), Clock::REF, Bound::new(value, strict));
+        }
+        Op::LowerBound { clock, value, strict } => {
+            z.constrain(Clock::REF, Clock(clock), Bound::new(-value, strict));
+        }
+        Op::Diff { a, b, value, strict } => {
+            if a != b {
+                z.constrain(Clock(a), Clock(b), Bound::new(value, strict));
+            }
+        }
+        Op::Reset { clock, value } => {
+            z.reset(Clock(clock), value);
+        }
+        Op::Free { clock } => {
+            z.free(Clock(clock));
+        }
+    }
+}
+
+fn random_zone() -> impl Strategy<Value = Dbm> {
+    proptest::collection::vec(op_strategy(), 0..12).prop_map(|ops| {
+        let mut z = Dbm::zero(NUM_CLOCKS);
+        for op in &ops {
+            apply(&mut z, op);
+        }
+        z
+    })
+}
+
+fn valuation() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(0i64..60, NUM_CLOCKS).prop_map(|mut v| {
+        v.insert(0, 0);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Re-closing a canonical zone changes nothing.
+    #[test]
+    fn close_is_idempotent(z in random_zone()) {
+        let mut closed = z.clone();
+        closed.close();
+        prop_assert_eq!(closed.relation(&z), Relation::Equal);
+    }
+
+    /// The membership predicate agrees with the constraint semantics:
+    /// a point is in `z ∧ c` iff it is in `z` and satisfies `c`.
+    #[test]
+    fn constrain_is_intersection(z in random_zone(), v in valuation(),
+                                 clock in clock_idx(), m in 0i64..60, strict in any::<bool>()) {
+        let c = Constraint::upper(Clock(clock), Bound::new(m, strict));
+        let mut zc = z.clone();
+        zc.and(&c);
+        let expected = z.contains_point(&v) && c.holds(&v);
+        prop_assert_eq!(zc.contains_point(&v), expected);
+    }
+
+    /// `up` only adds valuations reachable by uniform delay and never loses points.
+    #[test]
+    fn up_is_extensive(z in random_zone(), v in valuation(), d in 0i64..40) {
+        let mut up = z.clone();
+        up.up();
+        if z.contains_point(&v) {
+            prop_assert!(up.contains_point(&v));
+            let delayed: Vec<i64> =
+                v.iter().enumerate().map(|(i, &x)| if i == 0 { 0 } else { x + d }).collect();
+            prop_assert!(up.contains_point(&delayed));
+        }
+    }
+
+    /// After `reset(x, k)` every member valuation has `x == k`, and the other
+    /// clocks keep values they could have had before.
+    #[test]
+    fn reset_post_condition(z in random_zone(), clock in clock_idx(), k in 0i64..20, v in valuation()) {
+        let mut r = z.clone();
+        r.reset(Clock(clock), k);
+        prop_assert_eq!(r.is_empty(), z.is_empty());
+        if r.contains_point(&v) {
+            prop_assert_eq!(v[clock as usize], k);
+        }
+        if z.contains_point(&v) {
+            let mut w = v.clone();
+            w[clock as usize] = k;
+            prop_assert!(r.contains_point(&w));
+        }
+    }
+
+    /// Zone inclusion is consistent with point membership.
+    #[test]
+    fn inclusion_sound_for_points(a in random_zone(), b in random_zone(), v in valuation()) {
+        if a.includes(&b) && b.contains_point(&v) {
+            prop_assert!(a.contains_point(&v));
+        }
+    }
+
+    /// `relation` is antisymmetric and consistent with `includes`.
+    #[test]
+    fn relation_consistency(a in random_zone(), b in random_zone()) {
+        match a.relation(&b) {
+            Relation::Equal => {
+                prop_assert!(a.includes(&b) && b.includes(&a));
+                prop_assert_eq!(b.relation(&a), Relation::Equal);
+            }
+            Relation::Subset => {
+                prop_assert!(b.includes(&a));
+                prop_assert_eq!(b.relation(&a), Relation::Superset);
+            }
+            Relation::Superset => {
+                prop_assert!(a.includes(&b));
+                prop_assert_eq!(b.relation(&a), Relation::Subset);
+            }
+            Relation::Incomparable => {
+                prop_assert_eq!(b.relation(&a), Relation::Incomparable);
+            }
+        }
+    }
+
+    /// Extrapolation is a sound abstraction: it only grows the zone.
+    #[test]
+    fn extrapolation_is_extensive(z in random_zone(),
+                                  k in proptest::collection::vec(0i64..30, NUM_CLOCKS + 1)) {
+        let mut e = z.clone();
+        e.extrapolate_max_bounds(&k);
+        prop_assert!(e.includes(&z));
+        // And it is idempotent.
+        let once = e.clone();
+        e.extrapolate_max_bounds(&k);
+        prop_assert_eq!(e.relation(&once), Relation::Equal);
+    }
+
+    /// LU extrapolation is at least as coarse as ExtraM with the same constants.
+    #[test]
+    fn lu_is_coarser_than_m(z in random_zone(),
+                            k in proptest::collection::vec(0i64..30, NUM_CLOCKS + 1)) {
+        let mut m = z.clone();
+        m.extrapolate_max_bounds(&k);
+        let mut lu = z.clone();
+        lu.extrapolate_lu(&k, &k);
+        prop_assert!(lu.includes(&z));
+        // With L = U = k, ExtraLU and ExtraM coincide.
+        prop_assert_eq!(lu.relation(&m), Relation::Equal);
+    }
+
+    /// Intersection is the greatest lower bound w.r.t. point membership.
+    #[test]
+    fn intersection_semantics(a in random_zone(), b in random_zone(), v in valuation()) {
+        let mut i = a.clone();
+        i.intersect(&b);
+        prop_assert_eq!(i.contains_point(&v), a.contains_point(&v) && b.contains_point(&v));
+    }
+
+    /// Federations never lose points when zones are added, and subsumption
+    /// does not change the represented set.
+    #[test]
+    fn federation_add_preserves_points(zones in proptest::collection::vec(random_zone(), 1..5),
+                                       v in valuation()) {
+        let mut f = Federation::empty(NUM_CLOCKS);
+        let mut expected = false;
+        for z in &zones {
+            expected |= z.contains_point(&v);
+            f.add(z.clone());
+        }
+        prop_assert_eq!(f.contains_point(&v), expected);
+    }
+
+    /// `free` makes the freed clock unconstrained while keeping the projection
+    /// of the other clocks.
+    #[test]
+    fn free_post_condition(z in random_zone(), clock in clock_idx(), v in valuation(), nv in 0i64..60) {
+        let mut fz = z.clone();
+        fz.free(Clock(clock));
+        if z.contains_point(&v) {
+            let mut w = v.clone();
+            w[clock as usize] = nv;
+            prop_assert!(fz.contains_point(&w));
+        }
+    }
+}

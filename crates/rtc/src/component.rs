@@ -1,0 +1,197 @@
+//! The greedy processing component (GPC), the basic MPA building block.
+
+use crate::curves::{ArrivalCurve, ServiceCurve};
+
+/// A greedy processing component: an event stream with per-event execution
+/// demand `wcet_us` processed greedily by a resource offering `service`.
+#[derive(Clone, Debug)]
+pub struct GreedyProcessingComponent {
+    /// Input arrival curve.
+    pub arrival: ArrivalCurve,
+    /// Execution demand per event, in µs.
+    pub wcet_us: f64,
+    /// Lower service curve of the resource (after higher-priority load).
+    pub service: ServiceCurve,
+    /// Additional blocking before service can start (non-preemptable
+    /// lower-priority work), in µs.
+    pub blocking_us: f64,
+}
+
+impl GreedyProcessingComponent {
+    /// Creates a component without blocking.
+    pub fn new(arrival: ArrivalCurve, wcet_us: f64, service: ServiceCurve) -> Self {
+        GreedyProcessingComponent {
+            arrival,
+            wcet_us,
+            service,
+            blocking_us: 0.0,
+        }
+    }
+
+    /// Adds a blocking term (for non-preemptive resources).
+    pub fn with_blocking(mut self, blocking_us: f64) -> Self {
+        self.blocking_us = blocking_us;
+        self
+    }
+
+    /// The horizon used when searching for the maximal deviation: a generous
+    /// multiple of the period plus jitter.
+    fn horizon(&self) -> f64 {
+        (self.arrival.period + self.arrival.jitter + self.blocking_us + self.wcet_us) * 64.0
+            + 1_000_000.0
+    }
+
+    /// Delay bound: the maximum horizontal deviation between the demand
+    /// `α⁺·C` and the service `β⁻`, i.e. the worst-case response time of one
+    /// event under greedy processing, in µs.  `None` when the component is
+    /// overloaded.
+    pub fn delay_bound_us(&self) -> Option<f64> {
+        let horizon = self.horizon();
+        let mut worst: f64 = 0.0;
+        let mut n: u64 = 1;
+        loop {
+            let arrival_time = self.arrival.earliest_arrival(n);
+            let demand = n as f64 * self.wcet_us + self.blocking_us;
+            let completion = self.service.time_to_serve(demand, horizon)?;
+            let delay = completion - arrival_time;
+            if delay > worst {
+                worst = delay;
+            }
+            // Stop once the backlog is certainly cleared before the next
+            // arrival: the busy period has ended.
+            let next_arrival = self.arrival.earliest_arrival(n + 1);
+            if completion <= next_arrival || n > 100_000 {
+                break;
+            }
+            n += 1;
+        }
+        Some(worst)
+    }
+
+    /// Backlog bound: the maximum vertical deviation (number of buffered
+    /// events), useful for dimensioning queues.
+    pub fn backlog_bound(&self) -> Option<f64> {
+        let horizon = self.horizon();
+        let mut worst: f64 = 0.0;
+        // Candidate windows: arrival jump points.
+        for t in self.arrival.jump_points(horizon.min(256.0 * self.arrival.period)) {
+            let arrived = self.arrival.upper(t);
+            let served = (self.service.eval(t) - self.blocking_us).max(0.0) / self.wcet_us;
+            let backlog = arrived - served.floor();
+            if backlog > worst {
+                worst = backlog;
+            }
+        }
+        Some(worst)
+    }
+
+    /// The arrival curve of the output stream (events leave at most
+    /// `delay_bound` later than they arrived).
+    pub fn output_arrival(&self) -> Option<ArrivalCurve> {
+        Some(self.arrival.with_additional_jitter(self.delay_bound_us()?))
+    }
+
+    /// The service left over for lower-priority components.
+    pub fn remaining_service(&self) -> ServiceCurve {
+        self.service
+            .clone()
+            .minus(self.arrival.clone(), self.wcet_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_arch::time::TimeValue;
+
+    #[test]
+    fn isolated_component_delay_is_wcet() {
+        let gpc = GreedyProcessingComponent::new(
+            ArrivalCurve::periodic(TimeValue::millis(10)),
+            2_000.0,
+            ServiceCurve::Full,
+        );
+        let d = gpc.delay_bound_us().unwrap();
+        assert!((d - 2_000.0).abs() < 1.0, "{d}");
+        assert!(gpc.backlog_bound().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn interference_increases_delay() {
+        let hp = ArrivalCurve::periodic(TimeValue::millis(10));
+        let service = ServiceCurve::Full.minus(hp, 2_000.0);
+        let gpc = GreedyProcessingComponent::new(
+            ArrivalCurve::periodic(TimeValue::millis(50)),
+            10_000.0,
+            service,
+        );
+        let d = gpc.delay_bound_us().unwrap();
+        // 10 ms of own work plus one 2 ms preemption per 10 ms window:
+        // the classical RTA answer is 12 ms; the RTC bound must dominate it.
+        assert!(d >= 12_000.0 - 1.0, "{d}");
+        assert!(d <= 16_000.0, "{d}");
+    }
+
+    #[test]
+    fn blocking_adds_to_delay() {
+        let gpc = GreedyProcessingComponent::new(
+            ArrivalCurve::periodic(TimeValue::millis(10)),
+            2_000.0,
+            ServiceCurve::Full,
+        )
+        .with_blocking(3_000.0);
+        let d = gpc.delay_bound_us().unwrap();
+        assert!((d - 5_000.0).abs() < 1.0, "{d}");
+    }
+
+    #[test]
+    fn overload_reports_none() {
+        let gpc = GreedyProcessingComponent::new(
+            ArrivalCurve::periodic(TimeValue::millis(10)),
+            11_000.0,
+            ServiceCurve::Full,
+        );
+        assert!(gpc.delay_bound_us().is_none());
+    }
+
+    #[test]
+    fn output_jitter_grows_by_delay() {
+        let gpc = GreedyProcessingComponent::new(
+            ArrivalCurve::periodic(TimeValue::millis(10)),
+            2_000.0,
+            ServiceCurve::Full,
+        );
+        let out = gpc.output_arrival().unwrap();
+        assert!(out.jitter >= 1_999.0);
+        assert_eq!(out.period, 10_000.0);
+    }
+
+    #[test]
+    fn remaining_service_chains() {
+        let hp = GreedyProcessingComponent::new(
+            ArrivalCurve::periodic(TimeValue::millis(10)),
+            2_000.0,
+            ServiceCurve::Full,
+        );
+        let leftover = hp.remaining_service();
+        // A 10 ms window leaves at least 8 ms for lower priority.
+        assert!((leftover.eval(10_000.0) - 8_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bursty_stream_has_larger_backlog() {
+        let bursty = ArrivalCurve {
+            period: 10_000.0,
+            jitter: 20_000.0,
+            min_distance: 0.0,
+        };
+        let gpc = GreedyProcessingComponent::new(bursty, 3_000.0, ServiceCurve::Full);
+        assert!(gpc.backlog_bound().unwrap() >= 2.0);
+        let periodic = GreedyProcessingComponent::new(
+            ArrivalCurve::periodic(TimeValue::millis(10)),
+            3_000.0,
+            ServiceCurve::Full,
+        );
+        assert!(gpc.delay_bound_us().unwrap() >= periodic.delay_bound_us().unwrap());
+    }
+}

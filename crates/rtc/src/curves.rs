@@ -1,0 +1,280 @@
+//! Arrival and service curves.
+//!
+//! Curves are evaluated in microseconds (`f64`); the analytic baselines do not
+//! need the exact rational arithmetic of the timed-automata path.
+
+use tempo_arch::model::EventModel;
+use tempo_arch::time::TimeValue;
+
+/// Small epsilon used when evaluating limits "just before" a staircase jump.
+const EPS: f64 = 1e-6;
+
+/// An upper/lower arrival curve pair for a `(P, J, D)` event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalCurve {
+    /// Period in µs.
+    pub period: f64,
+    /// Jitter in µs.
+    pub jitter: f64,
+    /// Minimal distance between events in µs (0 = unconstrained).
+    pub min_distance: f64,
+}
+
+impl ArrivalCurve {
+    /// Builds the arrival curve of an architecture-level event model.
+    pub fn from_event_model(model: &EventModel) -> ArrivalCurve {
+        let (p, j, d) = match model {
+            EventModel::PeriodicOffset { period, .. } | EventModel::Periodic { period } => {
+                (period.as_micros_f64(), 0.0, period.as_micros_f64())
+            }
+            EventModel::Sporadic { min_interarrival } => (
+                min_interarrival.as_micros_f64(),
+                0.0,
+                min_interarrival.as_micros_f64(),
+            ),
+            EventModel::PeriodicJitter { period, jitter } => (
+                period.as_micros_f64(),
+                jitter.as_micros_f64(),
+                (period.as_micros_f64() - jitter.as_micros_f64()).max(0.0),
+            ),
+            EventModel::Burst {
+                period,
+                jitter,
+                min_separation,
+            } => (
+                period.as_micros_f64(),
+                jitter.as_micros_f64(),
+                min_separation.as_micros_f64(),
+            ),
+        };
+        ArrivalCurve {
+            period: p,
+            jitter: j,
+            min_distance: d,
+        }
+    }
+
+    /// A strictly periodic stream.
+    pub fn periodic(period: TimeValue) -> ArrivalCurve {
+        ArrivalCurve {
+            period: period.as_micros_f64(),
+            jitter: 0.0,
+            min_distance: period.as_micros_f64(),
+        }
+    }
+
+    /// Upper arrival curve `α⁺(Δ)`: the maximum number of events in any
+    /// half-open window of length `delta_us`.
+    pub fn upper(&self, delta_us: f64) -> f64 {
+        if delta_us < 0.0 {
+            return 0.0;
+        }
+        let by_period = ((delta_us + self.jitter) / self.period).ceil().max(1.0);
+        if self.min_distance > 0.0 {
+            let by_distance = (delta_us / self.min_distance).ceil().max(1.0);
+            by_period.min(by_distance)
+        } else {
+            by_period
+        }
+    }
+
+    /// Lower arrival curve `α⁻(Δ)`.
+    pub fn lower(&self, delta_us: f64) -> f64 {
+        (((delta_us - self.jitter) / self.period).floor()).max(0.0)
+    }
+
+    /// The earliest window length in which the `n`-th event (1-based) can have
+    /// arrived: the pseudo-inverse of `α⁺`.
+    pub fn earliest_arrival(&self, n: u64) -> f64 {
+        let n = n as f64;
+        let by_period = (n - 1.0) * self.period - self.jitter;
+        let by_distance = (n - 1.0) * self.min_distance;
+        by_period.max(by_distance).max(0.0)
+    }
+
+    /// The output arrival curve of a component with the given delay bound:
+    /// events are delayed by at most `delay_us`, which adds to the jitter.
+    pub fn with_additional_jitter(&self, delay_us: f64) -> ArrivalCurve {
+        ArrivalCurve {
+            period: self.period,
+            jitter: self.jitter + delay_us,
+            min_distance: self.min_distance,
+        }
+    }
+
+    /// Jump points of `α⁺` up to `horizon_us` (used when maximizing
+    /// differences of curves).
+    pub fn jump_points(&self, horizon_us: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut n = 1u64;
+        loop {
+            let t = self.earliest_arrival(n);
+            if t > horizon_us || n > 1_000_000 {
+                break;
+            }
+            out.push(t);
+            n += 1;
+        }
+        out
+    }
+}
+
+/// A lower service curve `β⁻(Δ)`: the execution time (µs) guaranteed to be
+/// available in any window of length `Δ`.
+#[derive(Clone, Debug)]
+pub enum ServiceCurve {
+    /// A fully available resource: `β(Δ) = Δ`.
+    Full,
+    /// The remaining service after a greedy processing component consumed
+    /// `α⁺ · wcet` from `base`:
+    /// `β'(Δ) = sup_{0 ≤ λ ≤ Δ} ( base(λ) − Σ αᵢ⁺(λ)·Cᵢ )⁺`.
+    Remaining {
+        /// The service offered before the higher-priority load.
+        base: Box<ServiceCurve>,
+        /// The higher-priority streams and their execution demands (µs).
+        consumed: Vec<(ArrivalCurve, f64)>,
+    },
+}
+
+impl ServiceCurve {
+    /// Removes the demand of a higher-priority stream from this service.
+    pub fn minus(self, arrival: ArrivalCurve, wcet_us: f64) -> ServiceCurve {
+        match self {
+            ServiceCurve::Remaining { base, mut consumed } => {
+                consumed.push((arrival, wcet_us));
+                ServiceCurve::Remaining { base, consumed }
+            }
+            other => ServiceCurve::Remaining {
+                base: Box::new(other),
+                consumed: vec![(arrival, wcet_us)],
+            },
+        }
+    }
+
+    /// Evaluates `β⁻(Δ)`.
+    pub fn eval(&self, delta_us: f64) -> f64 {
+        match self {
+            ServiceCurve::Full => delta_us.max(0.0),
+            ServiceCurve::Remaining { base, consumed } => {
+                // The supremum over λ of an increasing function minus a
+                // staircase is attained either at λ = Δ or immediately before
+                // one of the staircase jumps.
+                let mut candidates = vec![delta_us];
+                for (a, _) in consumed {
+                    for t in a.jump_points(delta_us) {
+                        if t > 0.0 && t <= delta_us {
+                            candidates.push(t - EPS);
+                        }
+                    }
+                }
+                candidates.push(0.0);
+                let mut best: f64 = 0.0;
+                for lambda in candidates {
+                    let lambda = lambda.clamp(0.0, delta_us);
+                    let mut v = base.eval(lambda);
+                    for (a, c) in consumed {
+                        v -= a.upper(lambda) * c;
+                    }
+                    if v > best {
+                        best = v;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// The earliest window length at which the service reaches `demand_us`,
+    /// searched up to `horizon_us`; `None` if the demand is never met.
+    pub fn time_to_serve(&self, demand_us: f64, horizon_us: f64) -> Option<f64> {
+        if self.eval(horizon_us) < demand_us {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0f64, horizon_us);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.eval(mid) >= demand_us {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_arrival_bounds() {
+        let a = ArrivalCurve::periodic(TimeValue::millis(10));
+        assert_eq!(a.upper(0.0), 1.0);
+        assert_eq!(a.upper(10_000.0), 1.0);
+        assert_eq!(a.upper(10_001.0), 2.0);
+        assert_eq!(a.lower(25_000.0), 2.0);
+        assert_eq!(a.earliest_arrival(1), 0.0);
+        assert_eq!(a.earliest_arrival(3), 20_000.0);
+    }
+
+    #[test]
+    fn jitter_creates_bursts() {
+        let a = ArrivalCurve {
+            period: 10_000.0,
+            jitter: 20_000.0,
+            min_distance: 0.0,
+        };
+        // Up to 3 events can coincide when J = 2P.
+        assert_eq!(a.upper(1.0), 3.0);
+        assert_eq!(a.earliest_arrival(3), 0.0);
+        assert_eq!(a.earliest_arrival(4), 10_000.0);
+        let tighter = ArrivalCurve {
+            min_distance: 1_000.0,
+            ..a
+        };
+        assert_eq!(tighter.upper(1_000.0), 1.0);
+    }
+
+    #[test]
+    fn from_event_models() {
+        let p = TimeValue::millis(10);
+        let a = ArrivalCurve::from_event_model(&EventModel::PeriodicJitter {
+            period: p,
+            jitter: TimeValue::millis(4),
+        });
+        assert_eq!(a.jitter, 4_000.0);
+        assert_eq!(a.min_distance, 6_000.0);
+        let a = ArrivalCurve::from_event_model(&EventModel::Sporadic { min_interarrival: p });
+        assert_eq!(a.jitter, 0.0);
+    }
+
+    #[test]
+    fn full_service_is_identity() {
+        let b = ServiceCurve::Full;
+        assert_eq!(b.eval(5_000.0), 5_000.0);
+        assert_eq!(b.time_to_serve(2_500.0, 10_000.0), Some(2_500.0));
+    }
+
+    #[test]
+    fn remaining_service_subtracts_interference() {
+        // Higher-priority stream: 2 ms of work every 10 ms.
+        let hp = ArrivalCurve::periodic(TimeValue::millis(10));
+        let b = ServiceCurve::Full.minus(hp, 2_000.0);
+        // In a 10 ms window at most one hp event: at least 8 ms of service.
+        let v = b.eval(10_000.0);
+        assert!((v - 8_000.0).abs() < 1.0, "{v}");
+        // In a 1 ms window the hp job can consume everything.
+        assert!(b.eval(1_000.0) < 1.0);
+        // 5 ms of demand is served within 7 ms.
+        let t = b.time_to_serve(5_000.0, 100_000.0).unwrap();
+        assert!((t - 7_000.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn overload_never_serves() {
+        let hp = ArrivalCurve::periodic(TimeValue::millis(10));
+        let b = ServiceCurve::Full.minus(hp, 11_000.0);
+        assert_eq!(b.time_to_serve(1_000.0, 200_000.0), None);
+    }
+}

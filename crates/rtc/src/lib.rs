@@ -1,0 +1,35 @@
+//! # tempo-rtc — Modular Performance Analysis with real-time calculus
+//!
+//! This crate is the stand-in for the MPA Matlab toolbox used as a comparator
+//! in Section 5 of the paper.  It implements the deterministic-queuing view of
+//! real-time calculus:
+//!
+//! * [`ArrivalCurve`] — upper/lower bounds `α⁺ / α⁻` on the number of events
+//!   in any time window, constructed from the standard `(P, J, D)` event
+//!   models,
+//! * [`ServiceCurve`] — lower bound `β⁻` on the service (in execution-time
+//!   units) a resource offers in any window,
+//! * [`GreedyProcessingComponent`] — the basic MPA building block: given
+//!   `α⁺` and `β⁻` it bounds the delay (horizontal deviation), the backlog
+//!   (vertical deviation) and produces the remaining service for
+//!   lower-priority components (fixed-priority resource sharing),
+//! * [`analyze_requirement`] — end-to-end latency bound for a requirement of
+//!   a [`tempo_arch::ArchitectureModel`], obtained by chaining greedy
+//!   processing components along the scenario's steps and summing their delay
+//!   bounds.
+//!
+//! As the paper notes, the transformation into the time-interval domain loses
+//! the correlation between streams (e.g. the phase between two periodic
+//! streams), so the bounds are conservative: MPA values are expected to be at
+//! least the exact WCRTs computed by `tempo-arch`/`tempo-check`, which is the
+//! relationship visible in Table 2.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curves;
+mod component;
+mod analysis;
+
+pub use analysis::{analyze_all, analyze_requirement, RtcError, RtcReport};
+pub use component::GreedyProcessingComponent;
+pub use curves::{ArrivalCurve, ServiceCurve};

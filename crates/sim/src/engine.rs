@@ -1,0 +1,382 @@
+//! The discrete-event simulation engine.
+
+use crate::generator::StimulusGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use tempo_arch::model::{
+    ArchitectureModel, MeasurePoint, SchedulingPolicy, Step,
+};
+use tempo_arch::time::TimeValue;
+
+/// Configuration of a simulation campaign.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Simulated time per run.
+    pub horizon: TimeValue,
+    /// Number of independent runs (different random offsets/jitter).
+    pub runs: usize,
+    /// Base RNG seed; run `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: TimeValue::seconds(60),
+            runs: 10,
+            seed: 0x51u64,
+        }
+    }
+}
+
+/// Maximum observed response time of one requirement across all runs.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Requirement name.
+    pub requirement: String,
+    /// Largest observed response time, in µs (0 if never observed).
+    pub max_response_us: f64,
+    /// Number of completed activations observed.
+    pub observations: usize,
+}
+
+impl SimReport {
+    /// Largest observed response time in milliseconds.
+    pub fn max_response_ms(&self) -> f64 {
+        self.max_response_us / 1_000.0
+    }
+}
+
+/// Errors of the simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The architecture model is invalid.
+    Model(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Model(m) => write!(f, "invalid model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulation event kinds.
+#[derive(Clone, Debug, PartialEq)]
+enum EventKind {
+    /// A stimulus of the given scenario arrives.
+    Stimulus { scenario: usize },
+    /// A job becomes ready at the resource executing the given step.
+    StepReady { job: usize, step: usize },
+    /// The job running on the resource completes, if `token` is still valid.
+    Completion { resource: usize, token: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: the BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A job instance traveling through its scenario's step chain.
+#[derive(Clone, Debug)]
+struct Job {
+    scenario: usize,
+    release: f64,
+    step_completion: Vec<Option<f64>>,
+}
+
+/// A queued piece of work on a resource.
+#[derive(Clone, Debug)]
+struct QueuedWork {
+    job: usize,
+    step: usize,
+    priority: u32,
+    remaining_us: f64,
+    enqueue_seq: u64,
+}
+
+/// The running piece of work on a resource.
+#[derive(Clone, Debug)]
+struct RunningWork {
+    work: QueuedWork,
+    started_at: f64,
+    token: u64,
+}
+
+struct Resource {
+    policy: SchedulingPolicy,
+    queue: Vec<QueuedWork>,
+    running: Option<RunningWork>,
+    next_token: u64,
+}
+
+/// Runs the simulation campaign and returns one report per requirement.
+pub fn simulate(model: &ArchitectureModel, cfg: &SimConfig) -> Result<Vec<SimReport>, SimError> {
+    model.validate().map_err(|e| SimError::Model(e.to_string()))?;
+    let mut reports: Vec<SimReport> = model
+        .requirements
+        .iter()
+        .map(|r| SimReport {
+            requirement: r.name.clone(),
+            max_response_us: 0.0,
+            observations: 0,
+        })
+        .collect();
+    for run in 0..cfg.runs.max(1) {
+        let jobs = simulate_once(model, cfg.horizon.as_micros_f64(), cfg.seed + run as u64);
+        collect_responses(model, &jobs, &mut reports);
+    }
+    Ok(reports)
+}
+
+fn resource_of(model: &ArchitectureModel, step: &Step) -> usize {
+    match step {
+        Step::Execute { on, .. } => on.0,
+        Step::Transfer { over, .. } => model.processors.len() + over.0,
+    }
+}
+
+fn resource_policy(model: &ArchitectureModel, resource: usize) -> SchedulingPolicy {
+    if resource < model.processors.len() {
+        model.processors[resource].policy
+    } else {
+        // Message transfers are never preempted.
+        SchedulingPolicy::FixedPriorityNonPreemptive
+    }
+}
+
+fn simulate_once(model: &ArchitectureModel, horizon_us: f64, seed: u64) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_resources = model.processors.len() + model.buses.len();
+    let mut resources: Vec<Resource> = (0..num_resources)
+        .map(|r| Resource {
+            policy: resource_policy(model, r),
+            queue: Vec::new(),
+            running: None,
+            next_token: 0,
+        })
+        .collect();
+    let mut generators: Vec<StimulusGenerator> = model
+        .scenarios
+        .iter()
+        .map(|s| StimulusGenerator::new(&s.stimulus, &mut rng))
+        .collect();
+
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut events: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |events: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
+        *seq += 1;
+        events.push(Event {
+            time,
+            seq: *seq,
+            kind,
+        });
+    };
+
+    // Prime the stimulus streams.
+    for (si, g) in generators.iter_mut().enumerate() {
+        let t = g.next_arrival(&mut rng);
+        if t <= horizon_us {
+            push(&mut events, &mut seq, t, EventKind::Stimulus { scenario: si });
+        }
+    }
+
+    while let Some(ev) = events.pop() {
+        let now = ev.time;
+        if now > horizon_us {
+            break;
+        }
+        match ev.kind {
+            EventKind::Stimulus { scenario } => {
+                let job_idx = jobs.len();
+                jobs.push(Job {
+                    scenario,
+                    release: now,
+                    step_completion: vec![None; model.scenarios[scenario].steps.len()],
+                });
+                push(
+                    &mut events,
+                    &mut seq,
+                    now,
+                    EventKind::StepReady { job: job_idx, step: 0 },
+                );
+                let t = generators[scenario].next_arrival(&mut rng);
+                if t <= horizon_us {
+                    push(&mut events, &mut seq, t, EventKind::Stimulus { scenario });
+                }
+            }
+            EventKind::StepReady { job, step } => {
+                let scenario = jobs[job].scenario;
+                let step_def = &model.scenarios[scenario].steps[step];
+                let resource = resource_of(model, step_def);
+                let service = model.step_service_time(step_def).as_micros_f64();
+                let work = QueuedWork {
+                    job,
+                    step,
+                    priority: model.scenarios[scenario].priority,
+                    remaining_us: service,
+                    enqueue_seq: seq,
+                };
+                resources[resource].queue.push(work);
+                dispatch(&mut resources[resource], resource, now, &mut events, &mut seq);
+            }
+            EventKind::Completion { resource, token } => {
+                let finished = {
+                    let res = &mut resources[resource];
+                    match &res.running {
+                        Some(r) if r.token == token => res.running.take().map(|r| r.work),
+                        _ => None,
+                    }
+                };
+                if let Some(work) = finished {
+                    jobs[work.job].step_completion[work.step] = Some(now);
+                    let scenario = jobs[work.job].scenario;
+                    if work.step + 1 < model.scenarios[scenario].steps.len() {
+                        push(
+                            &mut events,
+                            &mut seq,
+                            now,
+                            EventKind::StepReady {
+                                job: work.job,
+                                step: work.step + 1,
+                            },
+                        );
+                    }
+                    dispatch(&mut resources[resource], resource, now, &mut events, &mut seq);
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// (Re)decides what runs on a resource at time `now`.
+fn dispatch(
+    res: &mut Resource,
+    resource_index: usize,
+    now: f64,
+    events: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+) {
+    let preemptive = res.policy == SchedulingPolicy::FixedPriorityPreemptive;
+    // Preemption check: a strictly more important queued job interrupts the
+    // running one.
+    if preemptive {
+        if let Some(best) = best_index(&res.queue, res.policy) {
+            let should_preempt = match &res.running {
+                Some(running) => res.queue[best].priority < running.work.priority,
+                None => false,
+            };
+            if should_preempt {
+                let mut running = res.running.take().expect("running job present");
+                let elapsed = now - running.started_at;
+                running.work.remaining_us = (running.work.remaining_us - elapsed).max(0.0);
+                // Invalidate its scheduled completion by abandoning the token.
+                res.queue.push(running.work);
+            }
+        }
+    }
+    if res.running.is_none() {
+        if let Some(best) = best_index(&res.queue, res.policy) {
+            let work = res.queue.swap_remove(best);
+            res.next_token += 1;
+            let token = res.next_token;
+            let completion_time = now + work.remaining_us;
+            res.running = Some(RunningWork {
+                work,
+                started_at: now,
+                token,
+            });
+            *seq += 1;
+            events.push(Event {
+                time: completion_time,
+                seq: *seq,
+                kind: EventKind::Completion {
+                    resource: resource_index,
+                    token,
+                },
+            });
+        }
+    }
+}
+
+/// Index of the next job to serve according to the policy.
+fn best_index(queue: &[QueuedWork], policy: SchedulingPolicy) -> Option<usize> {
+    if queue.is_empty() {
+        return None;
+    }
+    let idx = match policy {
+        SchedulingPolicy::NonPreemptiveNd => {
+            // The simulator explores one concrete schedule; FIFO is as good a
+            // resolution of the non-determinism as any.
+            queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.enqueue_seq)
+                .map(|(i, _)| i)
+        }
+        SchedulingPolicy::FixedPriorityPreemptive | SchedulingPolicy::FixedPriorityNonPreemptive => {
+            queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| (w.priority, w.enqueue_seq))
+                .map(|(i, _)| i)
+        }
+    };
+    idx
+}
+
+/// Extracts per-requirement response times from the finished jobs.
+fn collect_responses(model: &ArchitectureModel, jobs: &[Job], reports: &mut [SimReport]) {
+    for (req, report) in model.requirements.iter().zip(reports.iter_mut()) {
+        let to = match req.to {
+            MeasurePoint::AfterStep(i) => i,
+            MeasurePoint::Stimulus => continue,
+        };
+        for job in jobs.iter().filter(|j| j.scenario == req.scenario.0) {
+            let Some(end) = job.step_completion.get(to).copied().flatten() else {
+                continue;
+            };
+            let start = match req.from {
+                MeasurePoint::Stimulus => Some(job.release),
+                MeasurePoint::AfterStep(i) => job.step_completion.get(i).copied().flatten(),
+            };
+            let Some(start) = start else { continue };
+            let response = end - start;
+            report.observations += 1;
+            if response > report.max_response_us {
+                report.max_response_us = response;
+            }
+        }
+    }
+}

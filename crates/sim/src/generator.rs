@@ -1,0 +1,176 @@
+//! Stimulus generators: concrete arrival-time sequences for the five event
+//! models.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tempo_arch::model::EventModel;
+
+/// Generates successive arrival times (in µs) for one scenario's stimulus.
+#[derive(Clone, Debug)]
+pub struct StimulusGenerator {
+    model: EventModel,
+    /// Nominal release index (for periodic-with-jitter / burst models).
+    next_index: u64,
+    /// Time of the previously generated event (for sporadic / min-distance).
+    last_arrival: f64,
+    /// Random phase of the stream, drawn once per run.
+    offset: f64,
+}
+
+impl StimulusGenerator {
+    /// Creates a generator, drawing the per-run random parameters (offsets)
+    /// from `rng`.
+    pub fn new(model: &EventModel, rng: &mut StdRng) -> StimulusGenerator {
+        let offset = match model {
+            EventModel::PeriodicOffset { offset, .. } => offset.as_micros_f64(),
+            EventModel::Periodic { period } => rng.gen_range(0.0..period.as_micros_f64()),
+            EventModel::Sporadic { min_interarrival } => {
+                rng.gen_range(0.0..min_interarrival.as_micros_f64())
+            }
+            EventModel::PeriodicJitter { period, .. } | EventModel::Burst { period, .. } => {
+                rng.gen_range(0.0..period.as_micros_f64())
+            }
+        };
+        StimulusGenerator {
+            model: model.clone(),
+            next_index: 0,
+            last_arrival: f64::NEG_INFINITY,
+            offset,
+        }
+    }
+
+    /// The arrival time (µs) of the next stimulus.
+    pub fn next_arrival(&mut self, rng: &mut StdRng) -> f64 {
+        let t = match &self.model {
+            EventModel::PeriodicOffset { period, .. } | EventModel::Periodic { period } => {
+                self.offset + self.next_index as f64 * period.as_micros_f64()
+            }
+            EventModel::Sporadic { min_interarrival } => {
+                // Sporadic: at least the minimal inter-arrival time, with a
+                // random extra gap (events may be late or absent).
+                let gap = min_interarrival.as_micros_f64()
+                    * (1.0 + rng.gen_range(0.0..0.5_f64).powi(2));
+                if self.last_arrival.is_finite() {
+                    self.last_arrival + gap
+                } else {
+                    self.offset
+                }
+            }
+            EventModel::PeriodicJitter { period, jitter } => {
+                self.offset
+                    + self.next_index as f64 * period.as_micros_f64()
+                    + rng.gen_range(0.0..=jitter.as_micros_f64().max(f64::MIN_POSITIVE))
+            }
+            EventModel::Burst {
+                period,
+                jitter,
+                min_separation,
+            } => {
+                let nominal = self.offset
+                    + self.next_index as f64 * period.as_micros_f64()
+                    + rng.gen_range(0.0..=jitter.as_micros_f64().max(f64::MIN_POSITIVE));
+                let sep = min_separation.as_micros_f64();
+                if self.last_arrival.is_finite() {
+                    nominal.max(self.last_arrival + sep)
+                } else {
+                    nominal
+                }
+            }
+        };
+        // Arrival times never go backwards.
+        let t = if self.last_arrival.is_finite() {
+            t.max(self.last_arrival)
+        } else {
+            t
+        };
+        self.next_index += 1;
+        self.last_arrival = t;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempo_arch::time::TimeValue;
+
+    fn collect(model: EventModel, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = StimulusGenerator::new(&model, &mut rng);
+        (0..n).map(|_| g.next_arrival(&mut rng)).collect()
+    }
+
+    #[test]
+    fn periodic_offset_is_exact() {
+        let ts = collect(
+            EventModel::PeriodicOffset {
+                period: TimeValue::millis(10),
+                offset: TimeValue::ZERO,
+            },
+            4,
+            1,
+        );
+        assert_eq!(ts, vec![0.0, 10_000.0, 20_000.0, 30_000.0]);
+    }
+
+    #[test]
+    fn periodic_unknown_offset_keeps_period() {
+        let ts = collect(
+            EventModel::Periodic {
+                period: TimeValue::millis(10),
+            },
+            5,
+            2,
+        );
+        for w in ts.windows(2) {
+            assert!((w[1] - w[0] - 10_000.0).abs() < 1e-9);
+        }
+        assert!(ts[0] >= 0.0 && ts[0] < 10_000.0);
+    }
+
+    #[test]
+    fn sporadic_respects_min_interarrival() {
+        let ts = collect(
+            EventModel::Sporadic {
+                min_interarrival: TimeValue::millis(10),
+            },
+            20,
+            3,
+        );
+        for w in ts.windows(2) {
+            assert!(w[1] - w[0] >= 10_000.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_window_and_is_monotone() {
+        let ts = collect(
+            EventModel::PeriodicJitter {
+                period: TimeValue::millis(10),
+                jitter: TimeValue::millis(10),
+            },
+            50,
+            4,
+        );
+        for (i, w) in ts.windows(2).enumerate() {
+            assert!(w[1] >= w[0], "event {i} goes backwards");
+        }
+    }
+
+    #[test]
+    fn burst_respects_min_separation() {
+        let ts = collect(
+            EventModel::Burst {
+                period: TimeValue::millis(10),
+                jitter: TimeValue::millis(20),
+                min_separation: TimeValue::millis(2),
+            },
+            50,
+            5,
+        );
+        for w in ts.windows(2) {
+            assert!(w[1] - w[0] >= 2_000.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Standard event models `(P, J, D)` as used by SymTA/S.
+
+use tempo_arch::model::EventModel;
+use tempo_arch::time::TimeValue;
+
+/// The standard event model: period `P`, jitter `J` and minimal distance `D`.
+///
+/// The number of events that can arrive in any half-open window of length `Δ`
+/// is bounded by `η⁺(Δ) = min( ⌈(Δ + J)/P⌉, ⌈Δ/D⌉ )` (the second term only
+/// when `D > 0`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StandardEventModel {
+    /// Period.
+    pub period: TimeValue,
+    /// Jitter.
+    pub jitter: TimeValue,
+    /// Minimal distance between events (0 = unconstrained).
+    pub min_distance: TimeValue,
+}
+
+impl StandardEventModel {
+    /// A strictly periodic stream.
+    pub fn periodic(period: TimeValue) -> StandardEventModel {
+        StandardEventModel {
+            period,
+            jitter: TimeValue::ZERO,
+            min_distance: TimeValue::ZERO,
+        }
+    }
+
+    /// Converts one of the architecture-level event models into the standard
+    /// `(P, J, D)` representation.
+    pub fn from_event_model(model: &EventModel) -> StandardEventModel {
+        match model {
+            EventModel::PeriodicOffset { period, .. } | EventModel::Periodic { period } => {
+                StandardEventModel::periodic(*period)
+            }
+            EventModel::Sporadic { min_interarrival } => StandardEventModel::periodic(*min_interarrival),
+            EventModel::PeriodicJitter { period, jitter } => StandardEventModel {
+                period: *period,
+                jitter: *jitter,
+                min_distance: if *jitter >= *period {
+                    TimeValue::ZERO
+                } else {
+                    *period - *jitter
+                },
+            },
+            EventModel::Burst {
+                period,
+                jitter,
+                min_separation,
+            } => StandardEventModel {
+                period: *period,
+                jitter: *jitter,
+                min_distance: *min_separation,
+            },
+        }
+    }
+
+    /// Maximum number of events in any window of length `delta` (the upper
+    /// arrival function `η⁺`).
+    pub fn max_events_in(&self, delta: TimeValue) -> u64 {
+        if delta.is_zero() {
+            // η⁺ is right-continuous: an arbitrarily small window can already
+            // contain the whole backlog allowed by the jitter.
+            return self.max_events_in(TimeValue::ratio_us(1, 1_000_000));
+        }
+        let p = self.period.as_micros_f64();
+        let j = self.jitter.as_micros_f64();
+        let d = self.min_distance.as_micros_f64();
+        let dl = delta.as_micros_f64();
+        let by_period = ((dl + j) / p).ceil() as u64;
+        if d > 0.0 {
+            let by_distance = (dl / d).ceil() as u64;
+            by_period.min(by_distance)
+        } else {
+            by_period
+        }
+    }
+
+    /// Minimum number of events in any window of length `delta` (the lower
+    /// arrival function `η⁻`).
+    pub fn min_events_in(&self, delta: TimeValue) -> u64 {
+        let p = self.period.as_micros_f64();
+        let j = self.jitter.as_micros_f64();
+        let dl = delta.as_micros_f64();
+        let v = ((dl - j) / p).floor();
+        if v.is_sign_negative() {
+            0
+        } else {
+            v as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_counts() {
+        let m = StandardEventModel::periodic(TimeValue::millis(10));
+        assert_eq!(m.max_events_in(TimeValue::millis(10)), 1);
+        assert_eq!(m.max_events_in(TimeValue::millis(11)), 2);
+        assert_eq!(m.max_events_in(TimeValue::millis(35)), 4);
+        assert_eq!(m.min_events_in(TimeValue::millis(35)), 3);
+        assert_eq!(m.min_events_in(TimeValue::millis(9)), 0);
+    }
+
+    #[test]
+    fn jitter_allows_bursts() {
+        let m = StandardEventModel {
+            period: TimeValue::millis(10),
+            jitter: TimeValue::millis(20),
+            min_distance: TimeValue::millis(1),
+        };
+        // With J = 2P, up to 3 events can pile up at once, but the minimal
+        // distance limits a 2 ms window to 2 events.
+        assert_eq!(m.max_events_in(TimeValue::millis(2)), 2);
+        assert!(m.max_events_in(TimeValue::millis(30)) >= 5);
+        assert_eq!(m.min_events_in(TimeValue::millis(25)), 0);
+    }
+
+    #[test]
+    fn conversion_from_architecture_models() {
+        let p = TimeValue::millis(10);
+        let m = StandardEventModel::from_event_model(&EventModel::Periodic { period: p });
+        assert_eq!(m, StandardEventModel::periodic(p));
+        let m = StandardEventModel::from_event_model(&EventModel::PeriodicJitter {
+            period: p,
+            jitter: TimeValue::millis(4),
+        });
+        assert_eq!(m.jitter, TimeValue::millis(4));
+        assert_eq!(m.min_distance, TimeValue::millis(6));
+        let m = StandardEventModel::from_event_model(&EventModel::Burst {
+            period: p,
+            jitter: TimeValue::millis(20),
+            min_separation: TimeValue::millis(1),
+        });
+        assert_eq!(m.min_distance, TimeValue::millis(1));
+        let m = StandardEventModel::from_event_model(&EventModel::Sporadic {
+            min_interarrival: p,
+        });
+        assert_eq!(m.period, p);
+    }
+
+    #[test]
+    fn zero_window_reflects_backlog() {
+        let m = StandardEventModel {
+            period: TimeValue::millis(10),
+            jitter: TimeValue::millis(25),
+            min_distance: TimeValue::ZERO,
+        };
+        // 25 ms of jitter lets ceil((0+25)/10) = 3 events coincide.
+        assert_eq!(m.max_events_in(TimeValue::ZERO), 3);
+    }
+}

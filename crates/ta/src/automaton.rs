@@ -1,0 +1,241 @@
+//! Locations, edges and automata (templates already instantiated).
+
+use crate::clockcon::ClockConstraint;
+use crate::expr::{BoolExpr, Update};
+use crate::ids::{ChannelId, ClockId, LocId};
+use std::fmt;
+
+/// The urgency class of a location.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LocationKind {
+    /// Ordinary location: time may pass subject to the invariant.
+    #[default]
+    Normal,
+    /// Urgent location: time may not pass while any automaton occupies it.
+    Urgent,
+    /// Committed location: time may not pass and the next discrete transition
+    /// of the network must involve an automaton in a committed location
+    /// (UPPAAL semantics; the `seen` location of the measuring automaton of
+    /// Fig. 9 is committed).
+    Committed,
+}
+
+/// A location of an automaton.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Location {
+    /// Human-readable name, unique within the automaton.
+    pub name: String,
+    /// Conjunction of clock constraints that must hold while the location is
+    /// occupied.
+    pub invariant: Vec<ClockConstraint>,
+    /// Urgency class.
+    pub kind: LocationKind,
+}
+
+impl Location {
+    /// Creates a normal location without invariant.
+    pub fn new(name: impl Into<String>) -> Location {
+        Location {
+            name: name.into(),
+            invariant: Vec::new(),
+            kind: LocationKind::Normal,
+        }
+    }
+}
+
+/// Synchronization action of an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sync {
+    /// Internal action (no synchronization).
+    Tau,
+    /// Emit on a channel (`c!`).
+    Send(ChannelId),
+    /// Receive on a channel (`c?`).
+    Recv(ChannelId),
+}
+
+impl Sync {
+    /// Convenience constructor for `c!`.
+    pub fn send(c: ChannelId) -> Sync {
+        Sync::Send(c)
+    }
+
+    /// Convenience constructor for `c?`.
+    pub fn recv(c: ChannelId) -> Sync {
+        Sync::Recv(c)
+    }
+
+    /// The channel involved, if any.
+    pub fn channel(self) -> Option<ChannelId> {
+        match self {
+            Sync::Tau => None,
+            Sync::Send(c) | Sync::Recv(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Sync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sync::Tau => write!(f, "τ"),
+            Sync::Send(c) => write!(f, "{c}!"),
+            Sync::Recv(c) => write!(f, "{c}?"),
+        }
+    }
+}
+
+/// An edge (transition) of an automaton.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Edge {
+    /// Source location.
+    pub source: LocId,
+    /// Target location.
+    pub target: LocId,
+    /// Data guard over integer variables.
+    pub guard: BoolExpr,
+    /// Clock guard (conjunction of clock constraints).
+    pub clock_guard: Vec<ClockConstraint>,
+    /// Synchronization label.
+    pub sync: Sync,
+    /// Sequential variable updates.
+    pub updates: Vec<Update>,
+    /// Clock resets `x := value` applied after the updates.
+    pub resets: Vec<(ClockId, i64)>,
+}
+
+impl Edge {
+    /// Creates an unguarded internal edge.
+    pub fn new(source: LocId, target: LocId) -> Edge {
+        Edge {
+            source,
+            target,
+            guard: BoolExpr::tt(),
+            clock_guard: Vec::new(),
+            sync: Sync::Tau,
+            updates: Vec::new(),
+            resets: Vec::new(),
+        }
+    }
+}
+
+/// A single timed automaton of a network.
+///
+/// Automata are built with [`crate::AutomatonBuilder`]; the fields are public
+/// for inspection by the checker and by DOT export.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Automaton {
+    /// Instance name, unique within the [`crate::System`].
+    pub name: String,
+    /// Locations, indexed by [`LocId`].
+    pub locations: Vec<Location>,
+    /// Edges.
+    pub edges: Vec<Edge>,
+    /// Initial location.
+    pub initial: LocId,
+}
+
+impl Automaton {
+    /// The location table entry for `id`.
+    pub fn location(&self, id: LocId) -> &Location {
+        &self.locations[id.index()]
+    }
+
+    /// Looks a location up by name.
+    pub fn location_by_name(&self, name: &str) -> Option<LocId> {
+        self.locations
+            .iter()
+            .position(|l| l.name == name)
+            .map(|i| LocId(i as u32))
+    }
+
+    /// Edges leaving a given location.
+    pub fn outgoing(&self, from: LocId) -> impl Iterator<Item = (usize, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.source == from)
+    }
+
+    /// All clocks referenced by this automaton (guards, invariants, resets).
+    pub fn referenced_clocks(&self) -> Vec<ClockId> {
+        let mut out = Vec::new();
+        for loc in &self.locations {
+            for cc in &loc.invariant {
+                out.push(cc.clock);
+            }
+        }
+        for e in &self.edges {
+            for cc in &e.clock_guard {
+                out.push(cc.clock);
+            }
+            for (c, _) in &e.resets {
+                out.push(*c);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clockcon::ClockRef;
+
+    fn sample() -> Automaton {
+        let x = ClockId(0);
+        Automaton {
+            name: "lamp".into(),
+            locations: vec![
+                Location::new("off"),
+                Location {
+                    name: "on".into(),
+                    invariant: vec![x.le(10)],
+                    kind: LocationKind::Normal,
+                },
+            ],
+            edges: vec![
+                Edge {
+                    resets: vec![(x, 0)],
+                    ..Edge::new(LocId(0), LocId(1))
+                },
+                Edge {
+                    clock_guard: vec![x.ge(5)],
+                    ..Edge::new(LocId(1), LocId(0))
+                },
+            ],
+            initial: LocId(0),
+        }
+    }
+
+    #[test]
+    fn lookup_and_outgoing() {
+        let a = sample();
+        assert_eq!(a.location_by_name("on"), Some(LocId(1)));
+        assert_eq!(a.location_by_name("nope"), None);
+        assert_eq!(a.outgoing(LocId(0)).count(), 1);
+        assert_eq!(a.outgoing(LocId(1)).count(), 1);
+        assert_eq!(a.location(LocId(1)).invariant.len(), 1);
+    }
+
+    #[test]
+    fn referenced_clocks_deduplicated() {
+        let a = sample();
+        assert_eq!(a.referenced_clocks(), vec![ClockId(0)]);
+    }
+
+    #[test]
+    fn sync_display_and_channel() {
+        assert_eq!(format!("{}", Sync::send(ChannelId(2))), "ch2!");
+        assert_eq!(format!("{}", Sync::recv(ChannelId(2))), "ch2?");
+        assert_eq!(format!("{}", Sync::Tau), "τ");
+        assert_eq!(Sync::send(ChannelId(2)).channel(), Some(ChannelId(2)));
+        assert_eq!(Sync::Tau.channel(), None);
+    }
+
+    #[test]
+    fn default_location_kind_is_normal() {
+        assert_eq!(LocationKind::default(), LocationKind::Normal);
+    }
+}

@@ -1,0 +1,71 @@
+//! Synchronization channels.
+
+use std::fmt;
+
+/// The kind of a synchronization channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Handshake channel: one sender (`c!`) synchronizes with exactly one
+    /// receiver (`c?`); the pair fires atomically.
+    Binary,
+    /// Urgent handshake channel: like [`ChannelKind::Binary`] but time may not
+    /// elapse while a synchronization on the channel is enabled.  This is the
+    /// `hurry!` channel of the paper, used to enforce greedy behaviour of
+    /// resources and buses.
+    Urgent,
+    /// Broadcast channel: one sender synchronizes with *all* automata that
+    /// currently enable a receiving edge (possibly none).
+    Broadcast,
+}
+
+impl ChannelKind {
+    /// `true` for urgent channels.
+    pub fn is_urgent(self) -> bool {
+        matches!(self, ChannelKind::Urgent)
+    }
+
+    /// `true` for broadcast channels.
+    pub fn is_broadcast(self) -> bool {
+        matches!(self, ChannelKind::Broadcast)
+    }
+}
+
+/// Declaration of a channel in a [`crate::System`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelDecl {
+    /// Human-readable name (used in DOT output and traces).
+    pub name: String,
+    /// The channel kind.
+    pub kind: ChannelKind,
+}
+
+impl fmt::Display for ChannelDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ChannelKind::Binary => write!(f, "chan {}", self.name),
+            ChannelKind::Urgent => write!(f, "urgent chan {}", self.name),
+            ChannelKind::Broadcast => write!(f, "broadcast chan {}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert!(ChannelKind::Urgent.is_urgent());
+        assert!(!ChannelKind::Binary.is_urgent());
+        assert!(ChannelKind::Broadcast.is_broadcast());
+    }
+
+    #[test]
+    fn declaration_display() {
+        let d = ChannelDecl {
+            name: "hurry".into(),
+            kind: ChannelKind::Urgent,
+        };
+        assert_eq!(format!("{d}"), "urgent chan hurry");
+    }
+}

@@ -1,0 +1,196 @@
+//! Clock constraints appearing in guards and invariants.
+//!
+//! The architecture front-end only needs *diagonal-free* constraints of the
+//! form `clock ≺ e` / `clock ⪰ e` where `e` is an integer expression over the
+//! discrete variables (constant for any fixed discrete state).  This keeps the
+//! maximum-bounds extrapolation of the checker sound.
+
+use crate::expr::{EvalError, IntExpr, VarStore};
+use crate::ids::ClockId;
+use std::fmt;
+use tempo_dbm::{Bound, Clock, Constraint, RelOp};
+
+/// A single clock constraint `clock (op) rhs`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ClockConstraint {
+    /// The constrained clock.
+    pub clock: ClockId,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Right-hand side; evaluated against the discrete variable store when
+    /// the constraint is applied to a zone.
+    pub rhs: IntExpr,
+}
+
+impl ClockConstraint {
+    /// Creates a constraint `clock (op) rhs`.
+    pub fn new(clock: ClockId, op: RelOp, rhs: impl Into<IntExpr>) -> ClockConstraint {
+        ClockConstraint {
+            clock,
+            op,
+            rhs: rhs.into(),
+        }
+    }
+
+    /// Lowers the constraint to DBM [`Constraint`]s for the given variable
+    /// valuation.
+    pub fn to_dbm(&self, store: &VarStore) -> Result<Vec<Constraint>, EvalError> {
+        let value = self.rhs.eval(store)?;
+        Ok(Constraint::from_rel(
+            self.clock.dbm_clock(),
+            Clock::REF,
+            self.op,
+            value,
+        ))
+    }
+
+    /// The largest constant this constraint can compare its clock against,
+    /// given conservative variable ranges; feeds extrapolation.
+    pub fn max_constant(&self, ranges: &[(i64, i64)]) -> i64 {
+        let (lo, hi) = self.rhs.value_range(ranges);
+        lo.abs().max(hi.abs())
+    }
+}
+
+impl fmt::Display for ClockConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.clock, self.op, self.rhs)
+    }
+}
+
+/// Ergonomic constructors for clock constraints, so model code can write
+/// `x.le(10)` or `x.ge_var(d)`.
+pub trait ClockRef {
+    /// `clock <= rhs`
+    fn le(self, rhs: impl Into<IntExpr>) -> ClockConstraint;
+    /// `clock < rhs`
+    fn lt(self, rhs: impl Into<IntExpr>) -> ClockConstraint;
+    /// `clock >= rhs`
+    fn ge(self, rhs: impl Into<IntExpr>) -> ClockConstraint;
+    /// `clock > rhs`
+    fn gt(self, rhs: impl Into<IntExpr>) -> ClockConstraint;
+    /// `clock == rhs`
+    fn eq_(self, rhs: impl Into<IntExpr>) -> ClockConstraint;
+}
+
+impl ClockRef for ClockId {
+    fn le(self, rhs: impl Into<IntExpr>) -> ClockConstraint {
+        ClockConstraint::new(self, RelOp::Le, rhs)
+    }
+    fn lt(self, rhs: impl Into<IntExpr>) -> ClockConstraint {
+        ClockConstraint::new(self, RelOp::Lt, rhs)
+    }
+    fn ge(self, rhs: impl Into<IntExpr>) -> ClockConstraint {
+        ClockConstraint::new(self, RelOp::Ge, rhs)
+    }
+    fn gt(self, rhs: impl Into<IntExpr>) -> ClockConstraint {
+        ClockConstraint::new(self, RelOp::Gt, rhs)
+    }
+    fn eq_(self, rhs: impl Into<IntExpr>) -> ClockConstraint {
+        ClockConstraint::new(self, RelOp::Eq, rhs)
+    }
+}
+
+/// Applies a conjunction of clock constraints to a zone, in place.
+pub fn apply_constraints(
+    zone: &mut tempo_dbm::Dbm,
+    constraints: &[ClockConstraint],
+    store: &VarStore,
+) -> Result<(), EvalError> {
+    for cc in constraints {
+        for c in cc.to_dbm(store)? {
+            zone.and(&c);
+            if zone.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `true` iff the zone has a non-empty intersection with all constraints
+/// (without modifying it).  Note this checks satisfiability of each atom
+/// separately followed by a joint check only when needed, so callers that need
+/// the constrained zone should use [`apply_constraints`] on a clone.
+pub fn satisfies_constraints(
+    zone: &tempo_dbm::Dbm,
+    constraints: &[ClockConstraint],
+    store: &VarStore,
+) -> Result<bool, EvalError> {
+    if constraints.is_empty() {
+        return Ok(!zone.is_empty());
+    }
+    let mut z = zone.clone();
+    apply_constraints(&mut z, constraints, store)?;
+    Ok(!z.is_empty())
+}
+
+/// The bound to use when a constraint set must hold *invariantly*: returns the
+/// DBM constraints of all atoms.
+pub fn lower_all(
+    constraints: &[ClockConstraint],
+    store: &VarStore,
+) -> Result<Vec<Constraint>, EvalError> {
+    let mut out = Vec::new();
+    for cc in constraints {
+        out.extend(cc.to_dbm(store)?);
+    }
+    Ok(out)
+}
+
+/// Helper producing the DBM bound for an upper-bound invariant `clock <= v`.
+pub fn upper_bound(clock: ClockId, value: i64, strict: bool) -> Constraint {
+    Constraint::upper(clock.dbm_clock(), Bound::new(value, strict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_dbm::Dbm;
+
+    #[test]
+    fn constraint_lowering() {
+        let x = ClockId(0);
+        let store = VarStore::new(vec![7]);
+        let cs = x.le(IntExpr::Var(crate::VarId(0))).to_dbm(&store).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].left, Clock(1));
+        assert_eq!(cs[0].bound, Bound::weak(7));
+
+        let cs = x.eq_(5).to_dbm(&store).unwrap();
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn apply_and_satisfy() {
+        let x = ClockId(0);
+        let store = VarStore::new(vec![]);
+        let mut z = Dbm::zero(1);
+        z.up();
+        apply_constraints(&mut z, &[x.le(10), x.ge(4)], &store).unwrap();
+        assert!(!z.is_empty());
+        assert!(z.contains_point(&[0, 7]));
+        assert!(!z.contains_point(&[0, 11]));
+
+        assert!(satisfies_constraints(&z, &[x.ge(10)], &store).unwrap());
+        assert!(!satisfies_constraints(&z, &[x.gt(10)], &store).unwrap());
+        // Jointly unsatisfiable even though each atom alone is satisfiable.
+        assert!(!satisfies_constraints(&z, &[x.le(5), x.ge(6)], &store).unwrap());
+    }
+
+    #[test]
+    fn max_constant_uses_variable_ranges() {
+        let x = ClockId(0);
+        let d = crate::VarId(0);
+        let cc = x.le(IntExpr::Var(d));
+        assert_eq!(cc.max_constant(&[(0, 250)]), 250);
+        let cc = x.ge(100);
+        assert_eq!(cc.max_constant(&[]), 100);
+    }
+
+    #[test]
+    fn display() {
+        let x = ClockId(1);
+        assert_eq!(format!("{}", x.lt(3)), "c1 < 3");
+    }
+}

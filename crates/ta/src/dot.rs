@@ -1,0 +1,170 @@
+//! Graphviz DOT export of automata and systems.
+//!
+//! The export mirrors the figures of the paper: locations are ellipses
+//! (committed locations get a double border, urgent locations a dashed one),
+//! invariants are printed under the location name, and edge labels show
+//! `guard / sync / updates, resets` like the UPPAAL GUI does.
+//!
+//! The `figures` binary of `tempo-bench` uses this module to regenerate the
+//! automaton figures (Figs. 4–9) from the generated models.
+
+use crate::automaton::{Automaton, LocationKind, Sync};
+use crate::system::System;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+fn pretty_names(label: &str, system: &System) -> String {
+    // Replace internal ids (v3, c1, ch2) by declared names for readability.
+    let mut out = label.to_string();
+    for (i, v) in system.vars.iter().enumerate().rev() {
+        out = out.replace(&format!("v{i}"), &v.name);
+    }
+    for (i, c) in system.clocks.iter().enumerate().rev() {
+        out = out.replace(&format!("c{i}"), &c.name);
+    }
+    for (i, ch) in system.channels.iter().enumerate().rev() {
+        out = out.replace(&format!("ch{i}"), &ch.name);
+    }
+    out
+}
+
+/// Renders a single automaton as a DOT digraph.
+pub fn automaton_to_dot(automaton: &Automaton, system: &System) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&automaton.name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=10];");
+    let _ = writeln!(out, "  edge [fontsize=9];");
+    let _ = writeln!(
+        out,
+        "  init [shape=point, style=invis, width=0.01, height=0.01];"
+    );
+    for (i, loc) in automaton.locations.iter().enumerate() {
+        let mut label = loc.name.clone();
+        if !loc.invariant.is_empty() {
+            let inv = loc
+                .invariant
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" && ");
+            let _ = write!(label, "\\n{}", pretty_names(&inv, system));
+        }
+        let extra = match loc.kind {
+            LocationKind::Normal => "",
+            LocationKind::Urgent => ", style=dashed",
+            LocationKind::Committed => ", peripheries=2",
+        };
+        let _ = writeln!(out, "  n{i} [label=\"{}\"{extra}];", escape(&label));
+    }
+    let _ = writeln!(out, "  init -> n{};", automaton.initial.index());
+    for e in &automaton.edges {
+        let mut parts: Vec<String> = Vec::new();
+        if e.guard != crate::BoolExpr::Const(true) {
+            parts.push(pretty_names(&e.guard.to_string(), system));
+        }
+        for cc in &e.clock_guard {
+            parts.push(pretty_names(&cc.to_string(), system));
+        }
+        match e.sync {
+            Sync::Tau => {}
+            s => parts.push(pretty_names(&s.to_string(), system)),
+        }
+        let mut effects: Vec<String> = e
+            .updates
+            .iter()
+            .map(|u| pretty_names(&u.to_string(), system))
+            .collect();
+        for (c, v) in &e.resets {
+            let name = &system.clocks[c.index()].name;
+            if *v == 0 {
+                effects.push(format!("{name} := 0"));
+            } else {
+                effects.push(format!("{name} := {v}"));
+            }
+        }
+        if !effects.is_empty() {
+            parts.push(effects.join(", "));
+        }
+        let label = parts.join("\\n");
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.source.index(),
+            e.target.index(),
+            escape(&label)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders every automaton of a system, concatenated, each as its own digraph.
+pub fn system_to_dot(system: &System) -> String {
+    system
+        .automata
+        .iter()
+        .map(|a| automaton_to_dot(a, system))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::channel::ChannelKind;
+    use crate::clockcon::ClockRef;
+    use crate::expr::{Update, VarExprExt};
+
+    fn sample() -> System {
+        let mut sb = SystemBuilder::new("s");
+        let x = sb.add_clock("x");
+        let pending = sb.add_var("pending", 0, 4, 0);
+        let hurry = sb.add_channel("hurry", ChannelKind::Urgent);
+        let mut a = sb.automaton("RAD");
+        let idle = a.location("idle").add();
+        let busy = a.location("handle_TMC").invariant(x.le(91)).add();
+        let seen = a.location("seen").committed(true).add();
+        a.edge(idle, busy)
+            .guard(pending.gt_(0))
+            .sync(Sync::send(hurry))
+            .update(Update::add(pending, -1))
+            .reset(x)
+            .add();
+        a.edge(busy, seen).guard_clock(x.eq_(91)).add();
+        a.set_initial(idle);
+        a.build();
+        sb.build()
+    }
+
+    #[test]
+    fn dot_contains_locations_edges_and_pretty_names() {
+        let sys = sample();
+        let dot = automaton_to_dot(&sys.automata[0], &sys);
+        assert!(dot.starts_with("digraph \"RAD\""));
+        assert!(dot.contains("idle"));
+        assert!(dot.contains("handle_TMC"));
+        // invariant with pretty clock name
+        assert!(dot.contains("x <= 91"));
+        // guard and update use the variable name, not v0
+        assert!(dot.contains("pending > 0"));
+        assert!(dot.contains("pending := (pending + -1)"));
+        // urgent channel send
+        assert!(dot.contains("hurry!"));
+        // committed location drawn with double border
+        assert!(dot.contains("peripheries=2"));
+        // initial marker
+        assert!(dot.contains("init -> n0"));
+    }
+
+    #[test]
+    fn system_dot_concatenates_automata() {
+        let sys = sample();
+        let dot = system_to_dot(&sys);
+        assert_eq!(dot.matches("digraph").count(), 1);
+    }
+}

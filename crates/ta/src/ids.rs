@@ -1,0 +1,88 @@
+//! Typed indices for the entities of a [`crate::System`].
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index for table addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(i: u32) -> Self {
+                $name(i)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a clock declared in a [`crate::System`].
+    ///
+    /// Clock `ClockId(i)` corresponds to DBM clock `Clock(i + 1)`; DBM clock 0
+    /// is the reference clock.
+    ClockId,
+    "c"
+);
+id_type!(
+    /// Identifier of a bounded integer variable declared in a [`crate::System`].
+    VarId,
+    "v"
+);
+id_type!(
+    /// Identifier of a synchronization channel declared in a [`crate::System`].
+    ChannelId,
+    "ch"
+);
+id_type!(
+    /// Identifier of a location, local to its [`crate::Automaton`].
+    LocId,
+    "l"
+);
+
+impl ClockId {
+    /// The DBM clock index this clock maps to.
+    #[inline]
+    pub fn dbm_clock(self) -> tempo_dbm::Clock {
+        tempo_dbm::Clock(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        assert_eq!(ClockId::from(3).index(), 3);
+        assert_eq!(format!("{}", VarId(7)), "v7");
+        assert_eq!(format!("{:?}", ChannelId(1)), "ch1");
+        assert_eq!(format!("{}", LocId(0)), "l0");
+    }
+
+    #[test]
+    fn clock_id_maps_past_reference_clock() {
+        assert_eq!(ClockId(0).dbm_clock(), tempo_dbm::Clock(1));
+        assert_eq!(ClockId(4).dbm_clock(), tempo_dbm::Clock(5));
+    }
+}

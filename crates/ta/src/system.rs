@@ -1,0 +1,131 @@
+//! The [`System`]: global declarations plus the parallel composition of
+//! automata.
+
+use crate::automaton::Automaton;
+use crate::channel::ChannelDecl;
+use crate::expr::VarStore;
+use crate::ids::{ChannelId, ClockId, VarId};
+use crate::validate::ValidationError;
+
+/// Declaration of a clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClockDecl {
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// Declaration of a bounded integer variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Smallest admissible value.
+    pub min: i64,
+    /// Largest admissible value.
+    pub max: i64,
+    /// Initial value.
+    pub init: i64,
+}
+
+/// A closed network of timed automata with shared clocks, variables and
+/// channels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct System {
+    /// Name of the system (used in reports).
+    pub name: String,
+    /// Clock declarations; `ClockId(i)` indexes this table.
+    pub clocks: Vec<ClockDecl>,
+    /// Integer variable declarations; `VarId(i)` indexes this table.
+    pub vars: Vec<VarDecl>,
+    /// Channel declarations; `ChannelId(i)` indexes this table.
+    pub channels: Vec<ChannelDecl>,
+    /// The parallel components.
+    pub automata: Vec<Automaton>,
+}
+
+impl System {
+    /// Number of clocks (the checker's DBMs have dimension `num_clocks + 1`).
+    pub fn num_clocks(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Number of integer variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The initial variable store.
+    pub fn initial_vars(&self) -> VarStore {
+        VarStore::new(self.vars.iter().map(|v| v.init).collect())
+    }
+
+    /// `(min, max)` ranges of all variables, indexed by [`VarId`].
+    pub fn var_ranges(&self) -> Vec<(i64, i64)> {
+        self.vars.iter().map(|v| (v.min, v.max)).collect()
+    }
+
+    /// Looks up a clock by name.
+    pub fn clock_by_name(&self, name: &str) -> Option<ClockId> {
+        self.clocks
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClockId(i as u32))
+    }
+
+    /// Looks up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Looks up a channel by name.
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChannelId(i as u32))
+    }
+
+    /// Looks up an automaton index by name.
+    pub fn automaton_by_name(&self, name: &str) -> Option<usize> {
+        self.automata.iter().position(|a| a.name == name)
+    }
+
+    /// Per-clock maximal constants (indexed by DBM clock, entry 0 unused) for
+    /// maximum-bounds extrapolation: the largest constant each clock is
+    /// compared against in any guard or invariant, taking variable ranges into
+    /// account for variable right-hand sides.
+    pub fn max_clock_constants(&self) -> Vec<i64> {
+        let ranges = self.var_ranges();
+        let mut k = vec![0i64; self.num_clocks() + 1];
+        let mut bump = |clock: ClockId, value: i64| {
+            let idx = clock.dbm_clock().index();
+            if value > k[idx] {
+                k[idx] = value;
+            }
+        };
+        for a in &self.automata {
+            for loc in &a.locations {
+                for cc in &loc.invariant {
+                    bump(cc.clock, cc.max_constant(&ranges));
+                }
+            }
+            for e in &a.edges {
+                for cc in &e.clock_guard {
+                    bump(cc.clock, cc.max_constant(&ranges));
+                }
+                for (c, v) in &e.resets {
+                    bump(*c, *v);
+                }
+            }
+        }
+        k
+    }
+
+    /// Validates internal consistency (see [`crate::validate`]).
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        crate::validate::validate(self)
+    }
+}

@@ -1,0 +1,114 @@
+//! Bus-protocol comparison: the same applications and deployment analysed
+//! under four different communication-bus designs.
+//!
+//! Section 3.2 of the paper points out that, because the hardware automata
+//! interface to the bus only through shared message counters, "it would be
+//! simple to replace a certain bus concept by another by merely replacing the
+//! bus automata".  This example does exactly that:
+//!
+//! * first-come/first-served (the Fig. 6 automaton, e.g. RS-485),
+//! * fixed-priority arbitration (CAN-like),
+//! * fixed-priority arbitration with the bulk message fragmented into frames
+//!   (the "break large messages into pieces to prevent starvation" protocol
+//!   the paper calls less trivial to encode), and
+//! * TDMA (the time-triggered template of Perathoner et al.).
+//!
+//! ```text
+//! cargo run --release --example bus_protocols
+//! ```
+
+use tempo::arch::model::BusId;
+use tempo::arch::prelude::*;
+
+/// A small gateway: an urgent alarm message competes with a bulk telemetry
+/// dump for one bus.
+fn gateway(arbitration: BusArbitration) -> ArchitectureModel {
+    let mut model = ArchitectureModel::new("gateway");
+    let cpu = model.add_processor("MCU", 100, SchedulingPolicy::FixedPriorityNonPreemptive);
+    let bus = model.add_bus("FIELDBUS", 80_000, arbitration); // 10 bytes per ms
+
+    let alarm = model.add_scenario(Scenario {
+        name: "alarm".into(),
+        stimulus: EventModel::Sporadic {
+            min_interarrival: TimeValue::millis(50),
+        },
+        priority: 0,
+        steps: vec![
+            Step::Execute {
+                operation: "DetectAlarm".into(),
+                instructions: 100_000, // 1 ms
+                on: cpu,
+            },
+            Step::Transfer {
+                message: "AlarmFrame".into(),
+                bytes: 10, // 1 ms
+                over: bus,
+            },
+        ],
+    });
+    model.add_scenario(Scenario {
+        name: "telemetry".into(),
+        stimulus: EventModel::Sporadic {
+            min_interarrival: TimeValue::millis(120),
+        },
+        priority: 1,
+        steps: vec![Step::Transfer {
+            message: "TelemetryDump".into(),
+            bytes: 120, // 12 ms unfragmented
+            over: bus,
+        }],
+    });
+    model.add_requirement(Requirement {
+        name: "alarm latency".into(),
+        scenario: alarm,
+        from: MeasurePoint::Stimulus,
+        to: MeasurePoint::AfterStep(1),
+        deadline: TimeValue::millis(40),
+    });
+    model
+}
+
+fn report(label: &str, model: &ArchitectureModel) {
+    let cfg = AnalysisConfig::default();
+    match analyze_requirement(model, "alarm latency", &cfg) {
+        Ok(rep) => println!(
+            "{label:<42} alarm WCRT = {:>8.3} ms   deadline met: {:?}   ({} symbolic states)",
+            rep.wcrt_ms().unwrap_or(f64::NAN),
+            rep.meets_deadline.unwrap_or(false),
+            rep.stats.states_stored
+        ),
+        Err(e) => println!("{label:<42} analysis failed: {e}"),
+    }
+}
+
+fn main() {
+    // 1. First-come/first-served: the alarm can be blocked by whichever
+    //    message grabbed the bus first, including the full 30 ms dump.
+    report("FCFS (Fig. 6 / RS-485)", &gateway(BusArbitration::FcfsNd));
+
+    // 2. Fixed-priority (CAN-like): arbitration helps, but a transfer in
+    //    progress is never aborted, so the 30 ms dump still blocks once.
+    report("fixed priority (CAN-like)", &gateway(BusArbitration::FixedPriority));
+
+    // 3. Fixed priority + fragmentation: the dump is split into 40-byte
+    //    frames, so the alarm waits for at most one 4 ms frame.
+    let fragmented = fragment_transfers(&gateway(BusArbitration::FixedPriority), BusId(0), 40)
+        .expect("fragmentation");
+    report("fixed priority + 40-byte frames", &fragmented);
+
+    // 4. TDMA: each of the two streams owns a 14 ms slot (large enough for a
+    //    whole dump); the alarm never competes for bandwidth but may have to
+    //    wait for its own slot to come around.
+    report(
+        "TDMA (14 ms slots)",
+        &gateway(BusArbitration::Tdma {
+            slot: TimeValue::millis(14),
+        }),
+    );
+
+    println!(
+        "\nThe protocols change only the generated bus automata; the processor,\n\
+         environment and observer automata are byte-for-byte identical, which is\n\
+         the modularity argument of Section 3.2 of the paper."
+    );
+}

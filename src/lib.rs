@@ -1,0 +1,58 @@
+//! # tempo — timed-automata based analysis of embedded system architectures
+//!
+//! `tempo` is a reproduction of Hendriks & Verhoef, *Timed Automata Based
+//! Analysis of Embedded System Architectures* (IPPS 2006), built as a family
+//! of crates:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`tempo_dbm`]   | difference bound matrices (zones) |
+//! | [`tempo_ta`]    | networks of timed automata with bounded integers, urgent/broadcast channels and committed locations |
+//! | [`tempo_check`] | UPPAAL-style zone-graph model checker (reachability, safety, WCRT) |
+//! | [`tempo_arch`]  | the paper's contribution: architecture models → timed automata → exact worst-case response times |
+//! | [`tempo_rtc`]   | Modular Performance Analysis / real-time calculus baseline |
+//! | [`tempo_symta`] | SymTA/S-style compositional busy-window analysis baseline |
+//! | [`tempo_sim`]   | discrete-event simulation baseline (POOSL/SHESIM stand-in) |
+//!
+//! This umbrella crate re-exports all of them and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tempo::arch::prelude::*;
+//!
+//! let mut model = ArchitectureModel::new("quickstart");
+//! let cpu = model.add_processor("CPU", 100, SchedulingPolicy::FixedPriorityPreemptive);
+//! let s = model.add_scenario(Scenario {
+//!     name: "control".into(),
+//!     stimulus: EventModel::Periodic { period: TimeValue::millis(5) },
+//!     priority: 0,
+//!     steps: vec![Step::Execute { operation: "loop".into(), instructions: 100_000, on: cpu }],
+//! });
+//! model.add_requirement(Requirement {
+//!     name: "control latency".into(),
+//!     scenario: s,
+//!     from: MeasurePoint::Stimulus,
+//!     to: MeasurePoint::AfterStep(0),
+//!     deadline: TimeValue::millis(5),
+//! });
+//! let report = analyze_requirement(&model, "control latency", &AnalysisConfig::default()).unwrap();
+//! assert_eq!(report.wcrt, Some(TimeValue::millis(1)));
+//! ```
+#![forbid(unsafe_code)]
+
+/// Difference bound matrices (clock zones).
+pub use tempo_dbm as dbm;
+/// Timed-automata modeling language.
+pub use tempo_ta as ta;
+/// Zone-graph model checker.
+pub use tempo_check as check;
+/// Architecture front-end and WCRT analysis (the paper's contribution).
+pub use tempo_arch as arch;
+/// Real-time calculus / Modular Performance Analysis baseline.
+pub use tempo_rtc as rtc;
+/// SymTA/S-style busy-window analysis baseline.
+pub use tempo_symta as symta;
+/// Discrete-event simulation baseline.
+pub use tempo_sim as sim;

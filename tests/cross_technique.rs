@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the four analysis techniques must agree on
+//! the qualitative relationships the paper reports in Section 5 —
+//! `simulation ≤ exact timed-automata WCRT ≤ SymTA/S ≈ MPA bounds` — and the
+//! exact analysis must be internally consistent (sup method vs. binary
+//! search, event-model monotonicity).
+
+use tempo::arch::prelude::*;
+use tempo::sim::{simulate, SimConfig};
+
+/// A small two-scenario system sharing one CPU and one bus, small enough for
+/// every technique to run in milliseconds.
+fn shared_cpu_model(policy: SchedulingPolicy, lo_stimulus: EventModel) -> ArchitectureModel {
+    let mut m = ArchitectureModel::new("integration");
+    let cpu = m.add_processor("CPU", 1, policy);
+    let bus = m.add_bus("BUS", 80_000, BusArbitration::FixedPriority);
+    let hi = m.add_scenario(Scenario {
+        name: "hi".into(),
+        stimulus: EventModel::Periodic {
+            period: TimeValue::millis(25),
+        },
+        priority: 0,
+        steps: vec![
+            Step::Execute {
+                operation: "sense".into(),
+                instructions: 2_000,
+                on: cpu,
+            },
+            Step::Transfer {
+                message: "cmd".into(),
+                bytes: 10,
+                over: bus,
+            },
+        ],
+    });
+    let lo = m.add_scenario(Scenario {
+        name: "lo".into(),
+        stimulus: lo_stimulus,
+        priority: 1,
+        steps: vec![Step::Execute {
+            operation: "background".into(),
+            instructions: 8_000,
+            on: cpu,
+        }],
+    });
+    m.add_requirement(Requirement {
+        name: "hi-e2e".into(),
+        scenario: hi,
+        from: MeasurePoint::Stimulus,
+        to: MeasurePoint::AfterStep(1),
+        deadline: TimeValue::millis(25),
+    });
+    m.add_requirement(Requirement {
+        name: "lo-e2e".into(),
+        scenario: lo,
+        from: MeasurePoint::Stimulus,
+        to: MeasurePoint::AfterStep(0),
+        deadline: TimeValue::millis(60),
+    });
+    m
+}
+
+fn default_lo() -> EventModel {
+    EventModel::Periodic {
+        period: TimeValue::millis(60),
+    }
+}
+
+#[test]
+fn simulation_never_exceeds_exact_and_exact_never_exceeds_analytic_bounds() {
+    for policy in [
+        SchedulingPolicy::FixedPriorityPreemptive,
+        SchedulingPolicy::FixedPriorityNonPreemptive,
+        SchedulingPolicy::NonPreemptiveNd,
+    ] {
+        let model = shared_cpu_model(policy, default_lo());
+        let sim = simulate(
+            &model,
+            &SimConfig {
+                horizon: TimeValue::seconds(5),
+                runs: 5,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        for requirement in ["hi-e2e", "lo-e2e"] {
+            let exact = analyze_requirement(&model, requirement, &AnalysisConfig::default())
+                .unwrap()
+                .wcrt_ms()
+                .unwrap();
+            let observed = sim
+                .iter()
+                .find(|r| r.requirement == requirement)
+                .unwrap()
+                .max_response_ms();
+            assert!(
+                observed <= exact + 1e-6,
+                "{policy:?}/{requirement}: simulated {observed} > exact {exact}"
+            );
+            // The analytic techniques must produce safe upper bounds.  The
+            // non-deterministic scheduler is bounded by the non-preemptive
+            // fixed-priority analysis (it can behave at least that badly).
+            let symta = tempo::symta::analyze_requirement(&model, requirement)
+                .unwrap()
+                .wcrt_ms();
+            let mpa = tempo::rtc::analyze_requirement(&model, requirement)
+                .unwrap()
+                .wcrt_ms();
+            if policy != SchedulingPolicy::NonPreemptiveNd {
+                assert!(
+                    symta + 1e-6 >= exact,
+                    "{policy:?}/{requirement}: SymTA/S bound {symta} < exact {exact}"
+                );
+                assert!(
+                    mpa + 1e-6 >= exact,
+                    "{policy:?}/{requirement}: MPA bound {mpa} < exact {exact}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_search_reproduces_sup_based_wcrt() {
+    let model = shared_cpu_model(SchedulingPolicy::FixedPriorityPreemptive, default_lo());
+    let cfg = AnalysisConfig::default();
+    for requirement in ["hi-e2e", "lo-e2e"] {
+        let sup = analyze_requirement(&model, requirement, &cfg).unwrap();
+        let bs = analyze_requirement_binary_search(&model, requirement, &cfg).unwrap();
+        assert_eq!(sup.wcrt, bs.wcrt, "{requirement}");
+    }
+}
+
+#[test]
+fn wcrt_is_monotone_in_event_model_burstiness() {
+    // po (offset 0) <= pno <= jitter <= burst for the low-priority stream's
+    // interference on itself and on the high-priority stream.
+    let p = TimeValue::millis(60);
+    let models = [
+        EventModel::PeriodicOffset {
+            period: p,
+            offset: TimeValue::ZERO,
+        },
+        EventModel::Periodic { period: p },
+        EventModel::PeriodicJitter {
+            period: p,
+            jitter: TimeValue::millis(30),
+        },
+        EventModel::Burst {
+            period: p,
+            jitter: TimeValue::millis(120),
+            min_separation: TimeValue::millis(5),
+        },
+    ];
+    let cfg = AnalysisConfig::default();
+    let mut previous = 0.0f64;
+    for (i, lo_model) in models.into_iter().enumerate() {
+        let model = shared_cpu_model(SchedulingPolicy::FixedPriorityPreemptive, lo_model);
+        let wcrt = analyze_requirement(&model, "lo-e2e", &cfg)
+            .unwrap()
+            .wcrt_ms()
+            .unwrap();
+        assert!(
+            wcrt + 1e-9 >= previous,
+            "event model #{i}: WCRT {wcrt} decreased below {previous}"
+        );
+        previous = wcrt;
+    }
+}
+
+#[test]
+fn generated_networks_validate_and_queues_stay_bounded() {
+    for policy in [
+        SchedulingPolicy::NonPreemptiveNd,
+        SchedulingPolicy::FixedPriorityPreemptive,
+    ] {
+        let model = shared_cpu_model(policy, default_lo());
+        let generated = generate(&model, Some(&model.requirements[0]), &GeneratorOptions::default())
+            .expect("generation succeeds");
+        assert!(generated.system.validate().is_ok());
+        tempo::arch::check_queues_bounded(&model, &AnalysisConfig::default())
+            .expect("queues stay bounded in a schedulable system");
+    }
+}
+
+#[test]
+fn priority_inversion_visible_under_non_preemptive_scheduling() {
+    let np = shared_cpu_model(SchedulingPolicy::FixedPriorityNonPreemptive, default_lo());
+    let pre = shared_cpu_model(SchedulingPolicy::FixedPriorityPreemptive, default_lo());
+    let cfg = AnalysisConfig::default();
+    let hi_np = analyze_requirement(&np, "hi-e2e", &cfg).unwrap().wcrt_ms().unwrap();
+    let hi_pre = analyze_requirement(&pre, "hi-e2e", &cfg).unwrap().wcrt_ms().unwrap();
+    assert!(
+        hi_np >= hi_pre,
+        "blocking should not make the preemptive WCRT larger: np {hi_np} vs pre {hi_pre}"
+    );
+    // With an 8 ms low-priority job the difference must actually show up.
+    assert!(hi_np - hi_pre >= 7.9, "expected ~8 ms of blocking, got {}", hi_np - hi_pre);
+}
