@@ -25,8 +25,7 @@ fn token_ring(n: usize) -> System {
     let mut sb = SystemBuilder::new("ring");
     let token = sb.add_var("token", 0, n as i64 - 1, 0);
     let clocks: Vec<_> = (0..n).map(|i| sb.add_clock(format!("x{i}"))).collect();
-    for i in 0..n {
-        let x = clocks[i];
+    for (i, &x) in clocks.iter().enumerate() {
         let mut a = sb.automaton(format!("S{i}"));
         let idle = a.location("idle").invariant(x.le(20)).add();
         let work = a.location("work").invariant(x.le(3 + i as i64)).add();

@@ -9,9 +9,8 @@ fn fischer(n: usize) -> System {
     let mut sb = SystemBuilder::new("fischer");
     let id = sb.add_var("id", 0, n as i64, 0);
     let clocks: Vec<_> = (0..n).map(|i| sb.add_clock(format!("x{i}"))).collect();
-    for i in 0..n {
+    for (i, &x) in clocks.iter().enumerate() {
         let pid = (i + 1) as i64;
-        let x = clocks[i];
         let mut p = sb.automaton(format!("P{pid}"));
         let idle = p.location("idle").add();
         let req = p.location("req").invariant(x.le(2)).add();

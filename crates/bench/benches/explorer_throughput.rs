@@ -1,0 +1,67 @@
+//! Sequential vs. parallel explorer throughput on Fischer's protocol: the
+//! same full zone-graph exploration driven through the single-threaded
+//! explorer and through the sharded parallel explorer at several worker
+//! counts, so the locking/sharding overhead and the scaling trend are
+//! visible side by side.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tempo_check::{Explorer, ParallelOptions, SearchOptions};
+use tempo_ta::{ClockRef, RelOp, System, SystemBuilder, Update, VarExprExt};
+
+fn fischer(n: usize) -> System {
+    let mut sb = SystemBuilder::new("fischer");
+    let id = sb.add_var("id", 0, n as i64, 0);
+    let clocks: Vec<_> = (0..n).map(|i| sb.add_clock(format!("x{i}"))).collect();
+    for (i, &x) in clocks.iter().enumerate() {
+        let pid = (i + 1) as i64;
+        let mut p = sb.automaton(format!("P{pid}"));
+        let idle = p.location("idle").add();
+        let req = p.location("req").invariant(x.le(2)).add();
+        let wait = p.location("wait").add();
+        let cs = p.location("cs").add();
+        p.edge(idle, req).guard(id.eq_(0)).reset(x).add();
+        p.edge(req, wait)
+            .guard_clock(x.le(2))
+            .update(Update::assign(id, pid))
+            .reset(x)
+            .add();
+        p.edge(wait, cs)
+            .guard(id.eq_(pid))
+            .guard_clock(tempo_ta::ClockConstraint::new(x, RelOp::Gt, 2))
+            .add();
+        p.edge(wait, idle).guard(id.ne_(pid)).reset(x).add();
+        p.edge(cs, idle).update(Update::assign(id, 0)).add();
+        p.set_initial(idle);
+        p.build();
+    }
+    sb.build()
+}
+
+fn bench_explorer_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer_throughput");
+    group.sample_size(10);
+    for &n in &[3usize, 4] {
+        let sys = fischer(n);
+        group.bench_function(format!("fischer{n}/sequential"), |b| {
+            b.iter(|| {
+                let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+                black_box(ex.state_space_size().unwrap())
+            })
+        });
+        for workers in [1usize, 2, 4] {
+            group.bench_function(format!("fischer{n}/parallel/{workers}"), |b| {
+                b.iter(|| {
+                    let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+                    black_box(
+                        ex.par_state_space_size(&ParallelOptions::with_workers(workers))
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explorer_throughput);
+criterion_main!(benches);

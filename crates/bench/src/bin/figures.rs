@@ -15,14 +15,14 @@
 //! be rendered with `dot -Tpdf`.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use tempo_arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
 use tempo_arch::model::SchedulingPolicy;
 use tempo_arch::{generate, GeneratorOptions};
 use tempo_ta::dot::automaton_to_dot;
 
 fn write_automaton(
-    dir: &PathBuf,
+    dir: &Path,
     figure: &str,
     system: &tempo_ta::System,
     automaton: &str,

@@ -47,12 +47,14 @@ fn main() {
             for order in [SearchOrder::Bfs, SearchOrder::RandomDfs] {
                 // The paper only falls back to df/rdf when breadth-first is
                 // infeasible; report both so the difference is visible.
-                let mut cfg = AnalysisConfig::default();
-                cfg.search = SearchOptions {
-                    order,
-                    max_states: Some(budget),
-                    truncate_on_limit: true,
-                    ..SearchOptions::default()
+                let cfg = AnalysisConfig {
+                    search: SearchOptions {
+                        order,
+                        max_states: Some(budget),
+                        truncate_on_limit: true,
+                        ..SearchOptions::default()
+                    },
+                    ..AnalysisConfig::default()
                 };
                 let model = radio_navigation(combo, column, &params);
                 let start = Instant::now();

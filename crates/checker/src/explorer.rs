@@ -145,18 +145,27 @@ impl<'s> Explorer<'s> {
     ///
     /// * `target`: stop (reporting reachability) as soon as a state matching
     ///   the target is found; `None` explores the full reachable zone graph.
+    /// * `query`: the target whose constants are being respected by
+    ///   extrapolation (may differ from `target`, e.g. the sup queries
+    ///   explore fully but must keep the observed clock exact at the query
+    ///   locations).
     /// * `extra_consts`: additional extrapolation constants for this query.
     /// * `visit`: called once for every state popped from the waiting list.
     pub(crate) fn run<F: FnMut(&SymState)>(
         &self,
         target: Option<&TargetSpec>,
+        query: Option<&TargetSpec>,
         extra_consts: &[(ClockId, i64)],
         mut visit: F,
     ) -> Result<(Option<Vec<TraceStep>>, bool, ExplorationStats), CheckError> {
         let start = Instant::now();
-        let mut all_consts = self.opts.extra_clock_constants.clone();
-        all_consts.extend_from_slice(extra_consts);
-        let gen = SuccessorGen::new(self.sys, &all_consts, self.opts.extrapolate)?;
+        let gen = SuccessorGen::for_query(
+            self.sys,
+            &self.opts.extra_clock_constants,
+            extra_consts,
+            query,
+            self.opts.extrapolate,
+        )?;
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
 
         let mut stats = ExplorationStats::default();
@@ -259,7 +268,7 @@ impl<'s> Explorer<'s> {
     /// `EF target`: is a state matching the target reachable?
     pub fn check_reachable(&self, target: &TargetSpec) -> Result<ReachReport, CheckError> {
         let consts = target.clock_constants(self.sys);
-        let (trace, reachable, stats) = self.run(Some(target), &consts, |_| {})?;
+        let (trace, reachable, stats) = self.run(Some(target), Some(target), &consts, |_| {})?;
         Ok(ReachReport {
             reachable,
             trace,
@@ -279,7 +288,7 @@ impl<'s> Explorer<'s> {
     /// Explores the entire reachable zone graph, invoking `visit` on every
     /// expanded state, and returns the exploration statistics.
     pub fn explore<F: FnMut(&SymState)>(&self, visit: F) -> Result<ExplorationStats, CheckError> {
-        let (_, _, stats) = self.run(None, &[], visit)?;
+        let (_, _, stats) = self.run(None, None, &[], visit)?;
         Ok(stats)
     }
 

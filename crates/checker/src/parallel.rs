@@ -40,6 +40,7 @@ use tempo_ta::ClockId;
 
 /// Options controlling a parallel exploration.
 #[derive(Clone, Debug)]
+#[derive(Default)]
 pub struct ParallelOptions {
     /// Number of worker threads.  `0` selects the available parallelism of
     /// the machine.
@@ -50,14 +51,6 @@ pub struct ParallelOptions {
     pub shards: usize,
 }
 
-impl Default for ParallelOptions {
-    fn default() -> Self {
-        ParallelOptions {
-            workers: 0,
-            shards: 0,
-        }
-    }
-}
 
 impl ParallelOptions {
     /// Convenience constructor fixing the worker count.
@@ -154,21 +147,22 @@ impl<'s> Explorer<'s> {
     fn par_run(
         &self,
         target: Option<&TargetSpec>,
+        query: Option<&TargetSpec>,
         extra_consts: &[(ClockId, i64)],
         visit: &(dyn Fn(&SymState) + Sync),
         par: &ParallelOptions,
     ) -> Result<(bool, ExplorationStats), CheckError> {
         let start = Instant::now();
         let opts = self.options();
-        let mut all_consts = opts.extra_clock_constants.clone();
-        all_consts.extend_from_slice(extra_consts);
+        let global_consts = &opts.extra_clock_constants;
         let sys = self.system();
         let workers = par.resolved_workers();
         let shards = par.resolved_shards(workers);
 
         // Validate once up front so worker threads can assume a well-formed
-        // system (their own `SuccessorGen::new` construction is then cheap).
-        let gen0 = SuccessorGen::new(sys, &all_consts, opts.extrapolate)?;
+        // system (their own `SuccessorGen` construction is then cheap).
+        let gen0 =
+            SuccessorGen::for_query(sys, global_consts, extra_consts, query, opts.extrapolate)?;
         let init = gen0.initial_state()?;
 
         let mut stats = ExplorationStats::default();
@@ -202,14 +196,20 @@ impl<'s> Explorer<'s> {
                 let found = &found;
                 let truncated = &truncated;
                 let limit_exceeded = &limit_exceeded;
-                let all_consts = &all_consts;
+                let global_consts = &global_consts;
                 handles.push(scope.spawn(move || {
                     let mut outcome = WorkerOutcome {
                         explored: 0,
                         transitions: 0,
                         error: None,
                     };
-                    let gen = match SuccessorGen::new(sys, all_consts, opts.extrapolate) {
+                    let gen = match SuccessorGen::for_query(
+                        sys,
+                        global_consts,
+                        extra_consts,
+                        query,
+                        opts.extrapolate,
+                    ) {
                         Ok(g) => g,
                         Err(e) => {
                             outcome.error = Some(e);
@@ -317,7 +317,7 @@ impl<'s> Explorer<'s> {
         par: &ParallelOptions,
     ) -> Result<ReachReport, CheckError> {
         let consts = target.clock_constants(self.system());
-        let (reachable, stats) = self.par_run(Some(target), &consts, &|_| {}, par)?;
+        let (reachable, stats) = self.par_run(Some(target), Some(target), &consts, &|_| {}, par)?;
         Ok(ReachReport {
             reachable,
             trace: None,
@@ -343,7 +343,7 @@ impl<'s> Explorer<'s> {
         visit: &(dyn Fn(&SymState) + Sync),
         par: &ParallelOptions,
     ) -> Result<ExplorationStats, CheckError> {
-        let (_, stats) = self.par_run(None, &[], visit, par)?;
+        let (_, stats) = self.par_run(None, None, &[], visit, par)?;
         Ok(stats)
     }
 
@@ -385,7 +385,7 @@ impl<'s> Explorer<'s> {
                 }
             }
         };
-        let (_, stats) = self.par_run(None, &extra, &visit, par)?;
+        let (_, stats) = self.par_run(None, Some(target), &extra, &visit, par)?;
         let (sup, matched, error) = acc.into_inner();
         if let Some(e) = error {
             return Err(e);
@@ -423,8 +423,7 @@ mod tests {
         for i in 0..n {
             clocks.push(sb.add_clock(format!("x{i}")));
         }
-        for i in 0..n {
-            let x = clocks[i];
+        for (i, &x) in clocks.iter().enumerate() {
             let mut a = sb.automaton(format!("w{i}"));
             let idle = a.location("idle").add();
             let run = a.location("run").invariant(x.le(3 + i as i64)).add();

@@ -3,6 +3,8 @@
 
 use crate::error::CheckError;
 use crate::state::{DiscreteState, SymState};
+use std::collections::HashMap;
+use std::rc::Rc;
 use tempo_dbm::Dbm;
 use tempo_ta::{
     apply_constraints, ChannelId, ChannelKind, Edge, EvalError, LocationKind, Sync, System,
@@ -91,17 +93,66 @@ impl ActionLabel {
 pub struct SuccessorGen<'s> {
     sys: &'s System,
     ranges: Vec<(i64, i64)>,
-    max_consts: Vec<i64>,
+    /// Location-dependent LU extrapolation constants (static guard analysis
+    /// with reset-kill propagation), possibly seeded with query constants at
+    /// the query's target locations.  Two properties make this the decisive
+    /// optimization for the architecture models:
+    ///
+    /// * LU rather than plain maximum bounds — sporadic/burst environment
+    ///   clocks only ever appear in lower-bound guards, so their upper
+    ///   constant is 0 and ExtraLU collapses the otherwise huge fan-out of
+    ///   "arrival phase" zones (e.g. against free-running TDMA slot gates);
+    /// * location dependence — the measuring observer's clock is reset when a
+    ///   measurement is armed and never read after the response is seen, so
+    ///   outside the armed window its constant is 0 and the clock is
+    ///   extrapolated away instead of fragmenting the pre-arming and
+    ///   post-measurement state space.
+    ///
+    /// Sound because the constraint language is diagonal-free.
+    lu: tempo_ta::LuTable,
+    /// Constants applied at every location (query constants of targets
+    /// without location atoms).
+    global_lower: Vec<i64>,
+    global_upper: Vec<i64>,
+    /// Merged (lower, upper) vectors per discrete location vector.  The
+    /// number of distinct location vectors is tiny compared to the number of
+    /// symbolic states, so memoizing the merge keeps the per-successor
+    /// extrapolation allocation-free on the hot path.
+    merged_cache: std::cell::RefCell<HashMap<Vec<tempo_ta::LocId>, MergedLu>>,
     extrapolate: bool,
 }
 
+/// Shared (lower, upper) extrapolation constant vectors for one discrete
+/// location vector.
+type MergedLu = Rc<(Vec<i64>, Vec<i64>)>;
+
 impl<'s> SuccessorGen<'s> {
-    /// Creates a generator.  `extra_clock_constants` are merged into the
-    /// per-clock maximum constants so that query bounds (e.g. the `C` of the
-    /// WCRT property) are respected by extrapolation.
+    /// Creates a generator with globally applied extra constants; equivalent
+    /// to [`SuccessorGen::for_query`] without query constants.
     pub fn new(
         sys: &'s System,
         extra_clock_constants: &[(tempo_ta::ClockId, i64)],
+        extrapolate: bool,
+    ) -> Result<SuccessorGen<'s>, CheckError> {
+        SuccessorGen::for_query(sys, extra_clock_constants, &[], None, extrapolate)
+    }
+
+    /// Creates a generator for a query.
+    ///
+    /// * `global_clock_constants` (the caller's
+    ///   `SearchOptions::extra_clock_constants`) are respected at every
+    ///   location, as documented on that field.
+    /// * `query_clock_constants` (target guard constants, WCRT caps) must
+    ///   survive extrapolation exactly wherever the query can observe them:
+    ///   when the query has location atoms they are seeded only at those
+    ///   locations and propagated backward (precision is needed on paths
+    ///   that can still reach the target, not after the clock's next
+    ///   reset), otherwise they apply everywhere.
+    pub fn for_query(
+        sys: &'s System,
+        global_clock_constants: &[(tempo_ta::ClockId, i64)],
+        query_clock_constants: &[(tempo_ta::ClockId, i64)],
+        query: Option<&crate::target::TargetSpec>,
         extrapolate: bool,
     ) -> Result<SuccessorGen<'s>, CheckError> {
         sys.validate()?;
@@ -125,17 +176,45 @@ impl<'s> SuccessorGen<'s> {
                 }
             }
         }
-        let mut max_consts = sys.max_clock_constants();
-        for (clock, value) in extra_clock_constants {
-            let idx = clock.dbm_clock().index();
-            if idx < max_consts.len() && *value > max_consts[idx] {
-                max_consts[idx] = *value;
+        let mut lu = sys.location_lu_table();
+        let dim = sys.num_clocks() + 1;
+        let mut global_lower = vec![0i64; dim];
+        let mut global_upper = vec![0i64; dim];
+        let mut apply_globally = |constants: &[(tempo_ta::ClockId, i64)]| {
+            for (clock, value) in constants {
+                let idx = clock.dbm_clock().index();
+                if idx < dim {
+                    if *value > global_lower[idx] {
+                        global_lower[idx] = *value;
+                    }
+                    if *value > global_upper[idx] {
+                        global_upper[idx] = *value;
+                    }
+                }
             }
+        };
+        apply_globally(global_clock_constants);
+        let seed_locations: &[(usize, tempo_ta::LocId)] = match query {
+            Some(t) if !t.locations.is_empty() => &t.locations,
+            _ => &[],
+        };
+        if seed_locations.is_empty() {
+            apply_globally(query_clock_constants);
+        } else {
+            for &(ai, li) in seed_locations {
+                for (clock, value) in query_clock_constants {
+                    lu.seed(ai, li, *clock, *value);
+                }
+            }
+            sys.propagate_lu_table(&mut lu);
         }
         Ok(SuccessorGen {
             sys,
             ranges: sys.var_ranges(),
-            max_consts,
+            lu,
+            global_lower,
+            global_upper,
+            merged_cache: std::cell::RefCell::new(HashMap::new()),
             extrapolate,
         })
     }
@@ -146,15 +225,38 @@ impl<'s> SuccessorGen<'s> {
         self.sys
     }
 
-    /// The per-clock maximum constants used for extrapolation.
-    #[allow(dead_code)]
-    pub fn max_constants(&self) -> &[i64] {
-        &self.max_consts
+    /// The per-clock (lower, upper) constants in effect at the given discrete
+    /// state: element-wise maximum of the global query constants and every
+    /// automaton's location-dependent constants.  Memoized per location
+    /// vector.
+    fn state_lu_constants(&self, discrete: &DiscreteState) -> MergedLu {
+        if let Some(cached) = self.merged_cache.borrow().get(&discrete.locations) {
+            return Rc::clone(cached);
+        }
+        let mut lower = self.global_lower.clone();
+        let mut upper = self.global_upper.clone();
+        for (ai, loc) in discrete.locations.iter().enumerate() {
+            let (l, u) = &self.lu.per_loc[ai][loc.index()];
+            for i in 1..lower.len() {
+                if l[i] > lower[i] {
+                    lower[i] = l[i];
+                }
+                if u[i] > upper[i] {
+                    upper[i] = u[i];
+                }
+            }
+        }
+        let merged = Rc::new((lower, upper));
+        self.merged_cache
+            .borrow_mut()
+            .insert(discrete.locations.clone(), Rc::clone(&merged));
+        merged
     }
 
-    fn extrapolate_zone(&self, zone: &mut Dbm) {
+    fn extrapolate_zone(&self, zone: &mut Dbm, discrete: &DiscreteState) {
         if self.extrapolate {
-            zone.extrapolate_max_bounds(&self.max_consts);
+            let merged = self.state_lu_constants(discrete);
+            zone.extrapolate_lu(&merged.0, &merged.1);
         }
     }
 
@@ -201,16 +303,14 @@ impl<'s> SuccessorGen<'s> {
                 let loc = discrete.locations[ai];
                 for (_, e) in a.outgoing(loc) {
                     match e.sync {
-                        Sync::Send(c) if c == channel => {
-                            if e.guard.eval(&discrete.vars)? {
+                        Sync::Send(c) if c == channel
+                            && e.guard.eval(&discrete.vars)? => {
                                 sender_auts.push(ai);
                             }
-                        }
-                        Sync::Recv(c) if c == channel => {
-                            if e.guard.eval(&discrete.vars)? {
+                        Sync::Recv(c) if c == channel
+                            && e.guard.eval(&discrete.vars)? => {
                                 receiver_auts.push(ai);
                             }
-                        }
                         _ => {}
                     }
                 }
@@ -238,7 +338,7 @@ impl<'s> SuccessorGen<'s> {
             zone.up();
             self.apply_invariants(&mut zone, &discrete)?;
         }
-        self.extrapolate_zone(&mut zone);
+        self.extrapolate_zone(&mut zone, &discrete);
         Ok(SymState::new(discrete, zone))
     }
 
@@ -312,7 +412,7 @@ impl<'s> SuccessorGen<'s> {
             }
         }
         // 7. extrapolation.
-        self.extrapolate_zone(&mut zone);
+        self.extrapolate_zone(&mut zone, &new_discrete);
         Ok(Some((new_discrete, zone)))
     }
 
@@ -373,16 +473,14 @@ impl<'s> SuccessorGen<'s> {
                 let loc = discrete.locations[ai];
                 for (ei, e) in a.outgoing(loc) {
                     match e.sync {
-                        Sync::Send(c) if c == channel => {
-                            if e.guard.eval(vars)? {
+                        Sync::Send(c) if c == channel
+                            && e.guard.eval(vars)? => {
                                 senders.push((ai, ei));
                             }
-                        }
-                        Sync::Recv(c) if c == channel => {
-                            if e.guard.eval(vars)? {
+                        Sync::Recv(c) if c == channel
+                            && e.guard.eval(vars)? => {
                                 receivers.push((ai, ei));
                             }
-                        }
                         _ => {}
                     }
                 }

@@ -82,7 +82,7 @@ impl<'s> Explorer<'s> {
         let mut sup: Option<Bound> = None;
         let mut matched = false;
         let mut error: Option<tempo_ta::EvalError> = None;
-        let (_, _, stats) = self.run(None, &extra, |state| {
+        let (_, _, stats) = self.run(None, Some(target), &extra, |state| {
             if error.is_some() {
                 return;
             }

@@ -418,10 +418,9 @@ pub fn radio_navigation_variant(
 
     // Platform per variant: map each logical function to a processor, and
     // each (producer function, consumer function, is_tmc) pair to a bus.
-    let (map, bus_for): (
-        Box<dyn Fn(Function) -> crate::model::ProcessorId>,
-        Box<dyn Fn(bool) -> Option<crate::model::BusId>>,
-    ) = match variant {
+    type ProcessorOf = Box<dyn Fn(Function) -> crate::model::ProcessorId>;
+    type BusOf = Box<dyn Fn(bool) -> Option<crate::model::BusId>>;
+    let (map, bus_for): (ProcessorOf, BusOf) = match variant {
         ArchitectureVariant::ThreeCpuOneBus => unreachable!("handled above"),
         ArchitectureVariant::MmiOnNav => {
             let rad = m.add_processor("RAD", params.rad_mips, params.cpu_policy);

@@ -286,7 +286,7 @@ impl Sweep {
     pub fn points(&self) -> Result<Vec<DesignPoint>, ArchError> {
         let mut points = Vec::new();
         let sizes: Vec<usize> = self.axes.iter().map(Axis::len).collect();
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return Ok(points);
         }
         let total: usize = sizes.iter().product::<usize>().max(1);

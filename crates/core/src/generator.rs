@@ -1033,11 +1033,15 @@ mod tests {
                 slot: TimeValue::millis(2),
             },
         );
+        // The interarrival time and deadline are kept as small as the
+        // asserted WCRT allows (no queueing: 8 > 4): zone fragmentation of
+        // the free-running slot gates against the sporadic arrival phase
+        // grows quadratically with these constants.
         for (name, priority) in [("a", 0u32), ("b", 1u32)] {
             let sid = m.add_scenario(Scenario {
                 name: name.into(),
                 stimulus: EventModel::Sporadic {
-                    min_interarrival: TimeValue::millis(40),
+                    min_interarrival: TimeValue::millis(8),
                 },
                 priority,
                 steps: vec![Step::Transfer {
@@ -1051,7 +1055,7 @@ mod tests {
                 scenario: sid,
                 from: MeasurePoint::Stimulus,
                 to: MeasurePoint::AfterStep(0),
-                deadline: TimeValue::millis(10),
+                deadline: TimeValue::millis(5),
             });
         }
         let cfg = AnalysisConfig::default();
@@ -1109,6 +1113,8 @@ mod tests {
         });
         let g = generate(&m, None, &GeneratorOptions::default()).unwrap();
         assert!(g.quantizer.is_exact(TimeValue::from_instructions(100_000, 22)));
-        assert_eq!(g.quantizer.ticks_per_us(), 11);
+        // Durations 50000/11, 31250 and 200000 µs: the coarsest exact tick is
+        // their rational GCD, 6250/11 µs (8, 55 and 352 ticks respectively).
+        assert_eq!(g.quantizer.tick(), TimeValue::ratio_us(6_250, 11));
     }
 }

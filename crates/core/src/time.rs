@@ -31,10 +31,6 @@ fn gcd(a: i128, b: i128) -> i128 {
     a.max(1)
 }
 
-fn lcm(a: i128, b: i128) -> i128 {
-    a / gcd(a, b) * b
-}
-
 impl TimeValue {
     /// Zero duration.
     pub const ZERO: TimeValue = TimeValue { num: 0, den: 1 };
@@ -169,68 +165,129 @@ impl fmt::Display for TimeValue {
     }
 }
 
-/// Converts exact [`TimeValue`]s into integer model-time *ticks* using a
-/// common denominator, so that all durations of a model stay exact.
+/// Converts exact [`TimeValue`]s into integer model-time *ticks*, so that all
+/// durations of a model stay exact.
+///
+/// The tick is the *coarsest* duration that measures every given duration an
+/// integer number of times — the GCD of the durations as rationals.  Picking
+/// the coarsest (rather than merely a common) tick matters enormously for the
+/// model checker: DBM constants scale inversely with the tick, and the zone
+/// count of models that mix free-running cyclic automata (TDMA slot gates)
+/// with nondeterministic arrivals grows with those constants.  An
+/// all-milliseconds model therefore gets millisecond ticks, not the
+/// microsecond ticks a pure common-denominator choice would produce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Quantizer {
-    /// Number of ticks per microsecond.
-    ticks_per_us: i128,
+    /// Tick duration in µs, as the reduced rational `tick_num / tick_den`.
+    tick_num: i128,
+    tick_den: i128,
 }
 
 impl Quantizer {
-    /// Largest tolerated `ticks_per_us` before falling back to rounding; keeps
-    /// DBM constants comfortably inside `i64`.
-    pub const MAX_TICKS_PER_US: i128 = 1_000_000;
+    /// Largest exact tick count any single duration may map to before the
+    /// quantizer falls back to rounded nanosecond resolution.  The gate is
+    /// on the *result* (the tick counts, which become DBM constants), not on
+    /// the intermediate common denominator: duration sets with huge
+    /// denominators but an exact coarse tick stay exact.
+    pub const MAX_TICKS_PER_DURATION: i128 = 1 << 40;
 
-    /// Chooses the smallest tick such that every given duration is an integer
-    /// number of ticks.  Falls back to nanosecond resolution (with rounding)
-    /// if the exact common denominator would be too fine.
+    /// Chooses the coarsest tick such that every given duration is an integer
+    /// number of ticks (their rational GCD).  Falls back to nanosecond
+    /// resolution (with rounding) when the exact tick would map some
+    /// duration to more than [`Quantizer::MAX_TICKS_PER_DURATION`] ticks or
+    /// the intermediate arithmetic overflows.
     pub fn for_durations<'a, I: IntoIterator<Item = &'a TimeValue>>(durations: I) -> Quantizer {
+        // Nanosecond resolution, rounded.
+        const FALLBACK: Quantizer = Quantizer {
+            tick_num: 1,
+            tick_den: 1_000,
+        };
+        let durations: Vec<&TimeValue> = durations.into_iter().collect();
         let mut l: i128 = 1;
-        for d in durations {
-            l = lcm(l, d.den);
-            if l > Self::MAX_TICKS_PER_US {
-                return Quantizer {
-                    ticks_per_us: 1_000, // nanosecond resolution, rounded
-                };
-            }
+        for d in &durations {
+            l = match (l / gcd(l, d.den)).checked_mul(d.den) {
+                Some(l) => l,
+                None => return FALLBACK,
+            };
         }
-        Quantizer { ticks_per_us: l }
+        // The durations scaled to integers (multiples of 1/l µs), and their
+        // gcd: the coarsest exact tick is g/l µs.
+        let mut scaled = Vec::with_capacity(durations.len());
+        let mut g: i128 = 0;
+        for d in &durations {
+            let s = match d.num.checked_mul(l / d.den) {
+                Some(s) => s,
+                None => return FALLBACK,
+            };
+            scaled.push(s);
+            g = gcd_or_zero(g, s);
+        }
+        if g == 0 {
+            // No nonzero durations: any tick works; use 1 µs.
+            return Quantizer {
+                tick_num: 1,
+                tick_den: 1,
+            };
+        }
+        if scaled.iter().any(|s| s / g > Self::MAX_TICKS_PER_DURATION) {
+            return FALLBACK;
+        }
+        let r = gcd(g, l);
+        Quantizer {
+            tick_num: g / r,
+            tick_den: l / r,
+        }
     }
 
-    /// A quantizer with an explicit resolution.
+    /// A quantizer with an explicit resolution of `ticks_per_us` ticks per
+    /// microsecond.
     pub fn with_ticks_per_us(ticks_per_us: i128) -> Quantizer {
         assert!(ticks_per_us > 0);
-        Quantizer { ticks_per_us }
+        Quantizer {
+            tick_num: 1,
+            tick_den: ticks_per_us,
+        }
     }
 
-    /// Number of ticks per microsecond.
-    pub fn ticks_per_us(&self) -> i128 {
-        self.ticks_per_us
+    /// The duration of one tick.
+    pub fn tick(&self) -> TimeValue {
+        TimeValue::ratio_us(self.tick_num, self.tick_den)
     }
 
     /// `true` iff the value is represented exactly (no rounding).
     pub fn is_exact(&self, t: TimeValue) -> bool {
-        (t.num * self.ticks_per_us) % t.den == 0
+        (t.num * self.tick_den) % (t.den * self.tick_num) == 0
     }
 
     /// Converts to ticks, rounding to nearest if not exact.
     pub fn to_ticks(&self, t: TimeValue) -> i64 {
-        let scaled = t.num * self.ticks_per_us;
-        let q = scaled / t.den;
-        let r = scaled % t.den;
-        let rounded = if 2 * r >= t.den { q + 1 } else { q };
+        let scaled = t.num * self.tick_den;
+        let denom = t.den * self.tick_num;
+        let q = scaled / denom;
+        let r = scaled % denom;
+        let rounded = if 2 * r >= denom { q + 1 } else { q };
         i64::try_from(rounded).expect("tick value overflows i64")
     }
 
     /// Converts ticks back to an exact [`TimeValue`].
     pub fn from_ticks(&self, ticks: i64) -> TimeValue {
-        TimeValue::ratio_us(ticks as i128, self.ticks_per_us)
+        TimeValue::ratio_us(ticks as i128 * self.tick_num, self.tick_den)
     }
 
     /// Converts ticks to milliseconds as a float (for reporting).
     pub fn ticks_to_ms(&self, ticks: i64) -> f64 {
-        ticks as f64 / self.ticks_per_us as f64 / 1_000.0
+        ticks as f64 * self.tick_num as f64 / self.tick_den as f64 / 1_000.0
+    }
+}
+
+/// `gcd` treating 0 as the identity (gcd(0, b) = b).
+fn gcd_or_zero(a: i128, b: i128) -> i128 {
+    if a == 0 {
+        b.abs()
+    } else if b == 0 {
+        a.abs()
+    } else {
+        gcd(a, b)
     }
 }
 
@@ -292,8 +349,9 @@ mod tests {
             let ticks = q.to_ticks(*d);
             assert_eq!(q.from_ticks(ticks), *d);
         }
-        // 11 * 113 * 9 = 11187 ticks per µs.
-        assert_eq!(q.ticks_per_us(), 11_187);
+        // Common denominator 11 * 113 * 9 = 11187; the GCD of the scaled
+        // numerators is 2000, so the coarsest exact tick is 2000/11187 µs.
+        assert_eq!(q.tick(), TimeValue::ratio_us(2_000, 11_187));
     }
 
     #[test]
@@ -302,7 +360,7 @@ mod tests {
             .map(|d| TimeValue::ratio_us(1, d))
             .collect();
         let q = Quantizer::for_durations(awkward.iter());
-        assert_eq!(q.ticks_per_us(), 1_000);
+        assert_eq!(q.tick(), TimeValue::ratio_us(1, 1_000));
         // Rounding happens but stays within half a tick.
         let t = TimeValue::ratio_us(1, 1_000_001);
         assert!(q.to_ticks(t) <= 1);

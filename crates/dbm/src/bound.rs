@@ -109,6 +109,7 @@ impl Bound {
     /// `x−y ≺₁ m₁` and `y−z ≺₂ m₂`.  `∞` is absorbing, constants add, and the
     /// result is weak only if both operands are weak.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: chaining, not arithmetic
     pub fn add(self, other: Bound) -> Bound {
         if self.is_infinity() || other.is_infinity() {
             return Bound::INFINITY;

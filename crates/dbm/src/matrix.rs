@@ -215,7 +215,7 @@ impl Dbm {
         if c.bound.is_infinity() {
             return true;
         }
-        !(self.at(c.right.index(), c.left.index()) + c.bound < Bound::LE_ZERO)
+        self.at(c.right.index(), c.left.index()) + c.bound >= Bound::LE_ZERO
     }
 
     /// `true` iff *every* valuation of the zone satisfies the constraint,
@@ -415,8 +415,8 @@ impl Dbm {
         assert!(valuation.len() >= self.dim);
         for i in 0..self.dim {
             let vi = if i == 0 { 0 } else { valuation[i] };
-            for j in 0..self.dim {
-                let vj = if j == 0 { 0 } else { valuation[j] };
+            for (j, &vraw) in valuation.iter().enumerate().take(self.dim) {
+                let vj = if j == 0 { 0 } else { vraw };
                 if !self.at(i, j).admits(vi - vj) {
                     return false;
                 }

@@ -177,12 +177,11 @@ pub fn analyze_requirement(
     };
     let mut step_delays_us = Vec::new();
     let mut max_backlog: f64 = 0.0;
-    for k in first..=last {
-        let delay = arrivals[si][k].1;
-        step_delays_us.push(delay);
+    for (k, arrival) in arrivals[si].iter().enumerate().take(last + 1).skip(first) {
+        step_delays_us.push(arrival.1);
         let step = &model.scenarios[si].steps[k];
         let wcet = model.step_service_time(step).as_micros_f64();
-        let gpc = GreedyProcessingComponent::new(arrivals[si][k].0.clone(), wcet, ServiceCurve::Full);
+        let gpc = GreedyProcessingComponent::new(arrival.0.clone(), wcet, ServiceCurve::Full);
         if let Some(b) = gpc.backlog_bound() {
             max_backlog = max_backlog.max(b);
         }

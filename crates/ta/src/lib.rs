@@ -67,5 +67,5 @@ pub use clockcon::{
 pub use expr::{BoolExpr, EvalError, IntExpr, Update, VarExprExt, VarStore};
 pub use ids::{ChannelId, ClockId, LocId, VarId};
 pub use tempo_dbm::RelOp;
-pub use system::{ClockDecl, System, VarDecl};
+pub use system::{ClockDecl, LuTable, System, VarDecl};
 pub use validate::ValidationError;

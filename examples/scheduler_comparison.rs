@@ -16,12 +16,14 @@ fn main() {
     let combo = ScenarioCombo::AddressLookupWithTmc;
     let column = EventModelColumn::Sporadic;
 
-    let mut cfg = AnalysisConfig::default();
-    cfg.search = SearchOptions {
-        order: SearchOrder::Bfs,
-        max_states: Some(400_000),
-        truncate_on_limit: true,
-        ..SearchOptions::default()
+    let cfg = AnalysisConfig {
+        search: SearchOptions {
+            order: SearchOrder::Bfs,
+            max_states: Some(400_000),
+            truncate_on_limit: true,
+            ..SearchOptions::default()
+        },
+        ..AnalysisConfig::default()
     };
 
     println!("Scheduling-policy exploration on the radio navigation case study");

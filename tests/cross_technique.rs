@@ -134,7 +134,47 @@ fn binary_search_reproduces_sup_based_wcrt() {
 fn wcrt_is_monotone_in_event_model_burstiness() {
     // po (offset 0) <= pno <= jitter <= burst for the low-priority stream's
     // interference on itself and on the high-priority stream.
-    let p = TimeValue::millis(60);
+    //
+    // This ladder uses a deliberately small two-task model (not
+    // `shared_cpu_model`): exact analysis of the burst event model is the
+    // paper's intractable `bur` corner (Section 5), and its zone graph grows
+    // with every clock constant, so small periods keep the exact checker
+    // fast while the monotonicity property is unaffected.
+    fn tiny_model(lo_stimulus: EventModel) -> ArchitectureModel {
+        let mut m = ArchitectureModel::new("burstiness");
+        let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityPreemptive);
+        m.add_scenario(Scenario {
+            name: "hi".into(),
+            stimulus: EventModel::Periodic {
+                period: TimeValue::millis(5),
+            },
+            priority: 0,
+            steps: vec![Step::Execute {
+                operation: "short".into(),
+                instructions: 1_000,
+                on: cpu,
+            }],
+        });
+        let lo = m.add_scenario(Scenario {
+            name: "lo".into(),
+            stimulus: lo_stimulus,
+            priority: 1,
+            steps: vec![Step::Execute {
+                operation: "long".into(),
+                instructions: 3_000,
+                on: cpu,
+            }],
+        });
+        m.add_requirement(Requirement {
+            name: "lo-e2e".into(),
+            scenario: lo,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(0),
+            deadline: TimeValue::millis(24),
+        });
+        m
+    }
+    let p = TimeValue::millis(12);
     let models = [
         EventModel::PeriodicOffset {
             period: p,
@@ -143,18 +183,18 @@ fn wcrt_is_monotone_in_event_model_burstiness() {
         EventModel::Periodic { period: p },
         EventModel::PeriodicJitter {
             period: p,
-            jitter: TimeValue::millis(30),
+            jitter: TimeValue::millis(6),
         },
         EventModel::Burst {
             period: p,
-            jitter: TimeValue::millis(120),
-            min_separation: TimeValue::millis(5),
+            jitter: TimeValue::millis(12),
+            min_separation: TimeValue::millis(1),
         },
     ];
     let cfg = AnalysisConfig::default();
     let mut previous = 0.0f64;
     for (i, lo_model) in models.into_iter().enumerate() {
-        let model = shared_cpu_model(SchedulingPolicy::FixedPriorityPreemptive, lo_model);
+        let model = tiny_model(lo_model);
         let wcrt = analyze_requirement(&model, "lo-e2e", &cfg)
             .unwrap()
             .wcrt_ms()

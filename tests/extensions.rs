@@ -19,14 +19,15 @@ fn quick_params() -> CaseStudyParams {
 }
 
 fn quick_cfg() -> AnalysisConfig {
-    let mut cfg = AnalysisConfig::default();
-    cfg.search = SearchOptions {
-        order: SearchOrder::Bfs,
-        max_states: Some(400_000),
-        truncate_on_limit: true,
-        ..SearchOptions::default()
-    };
-    cfg
+    AnalysisConfig {
+        search: SearchOptions {
+            order: SearchOrder::Bfs,
+            max_states: Some(400_000),
+            truncate_on_limit: true,
+            ..SearchOptions::default()
+        },
+        ..AnalysisConfig::default()
+    }
 }
 
 /// The generated case-study network survives a print → parse round trip

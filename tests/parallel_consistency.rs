@@ -1,0 +1,119 @@
+//! Workspace smoke test: the sequential and parallel checkers must return
+//! identical verdicts on Fischer's mutual-exclusion protocol (the model from
+//! `crates/checker/tests/fischer.rs`) — safety of the correct protocol,
+//! reachability of the critical sections, and the mutex violation of the
+//! weakened (non-strict guard) variant.
+
+use tempo::check::{Explorer, ParallelOptions, SearchOptions, TargetSpec};
+use tempo::ta::{ClockRef, RelOp, System, SystemBuilder, Update, VarExprExt};
+
+const K: i64 = 2;
+
+fn fischer(n: usize, strict_wait: bool) -> System {
+    let mut sb = SystemBuilder::new("fischer");
+    let id = sb.add_var("id", 0, n as i64, 0);
+    let clocks: Vec<_> = (0..n).map(|i| sb.add_clock(format!("x{i}"))).collect();
+    for (i, &x) in clocks.iter().enumerate() {
+        let pid = (i + 1) as i64;
+        let mut p = sb.automaton(format!("P{pid}"));
+        let idle = p.location("idle").add();
+        let req = p.location("req").invariant(x.le(K)).add();
+        let wait = p.location("wait").add();
+        let cs = p.location("cs").add();
+        p.edge(idle, req).guard(id.eq_(0)).reset(x).add();
+        p.edge(req, wait)
+            .guard_clock(x.le(K))
+            .update(Update::assign(id, pid))
+            .reset(x)
+            .add();
+        let op = if strict_wait { RelOp::Gt } else { RelOp::Ge };
+        p.edge(wait, cs)
+            .guard(id.eq_(pid))
+            .guard_clock(tempo::ta::ClockConstraint::new(x, op, K))
+            .add();
+        p.edge(wait, idle).guard(id.ne_(pid)).reset(x).add();
+        p.edge(cs, idle).update(Update::assign(id, 0)).add();
+        p.set_initial(idle);
+        p.build();
+    }
+    sb.build()
+}
+
+fn mutex_violation_targets(sys: &System, n: usize) -> Vec<TargetSpec> {
+    let mut targets = Vec::new();
+    for i in 1..=n {
+        for j in (i + 1)..=n {
+            targets.push(
+                TargetSpec::location(sys, &format!("P{i}"), "cs")
+                    .unwrap()
+                    .and_location(sys, &format!("P{j}"), "cs")
+                    .unwrap(),
+            );
+        }
+    }
+    targets
+}
+
+/// Every (system, target) pair the smoke test compares across checkers.
+fn verdict_matrix(sys: &System, n: usize) -> Vec<TargetSpec> {
+    let mut targets = mutex_violation_targets(sys, n);
+    for i in 1..=n {
+        targets.push(TargetSpec::location(sys, &format!("P{i}"), "cs").unwrap());
+        targets.push(TargetSpec::location(sys, &format!("P{i}"), "wait").unwrap());
+    }
+    let x0 = sys.clock_by_name("x0").unwrap();
+    targets.push(
+        TargetSpec::location(sys, "P1", "cs")
+            .unwrap()
+            .with_clock_constraint(ClockRef::gt(x0, K)),
+    );
+    targets
+}
+
+#[test]
+fn sequential_and_parallel_checkers_agree_on_fischer() {
+    for (n, strict) in [(2, true), (3, true), (2, false)] {
+        let sys = fischer(n, strict);
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        for (t, target) in verdict_matrix(&sys, n).iter().enumerate() {
+            let seq = ex.check_reachable(target).unwrap().reachable;
+            for workers in [1, 2, 4] {
+                let par = ex
+                    .par_check_reachable(target, &ParallelOptions::with_workers(workers))
+                    .unwrap()
+                    .reachable;
+                assert_eq!(
+                    seq, par,
+                    "n={n} strict={strict} target#{t} workers={workers}: \
+                     sequential says {seq}, parallel says {par}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_and_parallel_suprema_agree_on_fischer() {
+    // The number of *stored* states may differ between the two explorers
+    // (subsumption depends on discovery order), but suprema over the full
+    // reachable set are order-independent and must match exactly.  In `req`
+    // the invariant `x <= K` caps the process clock, so sup = K.
+    for n in [2usize, 3] {
+        let sys = fischer(n, true);
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let x0 = sys.clock_by_name("x0").unwrap();
+        let req = TargetSpec::location(&sys, "P1", "req").unwrap();
+        let seq = ex.sup_clock_at(&req, x0, 1_000).unwrap();
+        assert_eq!(seq.exact_value(), Some(K));
+        for workers in [1, 2, 4] {
+            let par = ex
+                .par_sup_clock_at(&req, x0, 1_000, &ParallelOptions::with_workers(workers))
+                .unwrap();
+            assert_eq!(
+                par.exact_value(),
+                seq.exact_value(),
+                "n={n} workers={workers}"
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal offline stand-in for `crossbeam`.
+//!
+//! Only [`deque::Injector`] and [`deque::Steal`] are provided — the FIFO
+//! work queue the parallel zone-graph explorer shares between workers.  The
+//! real crate's lock-free queue is replaced with a mutex-protected
+//! `VecDeque`; the API (including the `Steal::Retry` arm) is preserved so
+//! the explorer's retry loop compiles unchanged and the real crate can be
+//! swapped back in for performance work later.
+
+#![forbid(unsafe_code)]
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt on an [`Injector`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    /// A FIFO queue that any thread can push to and steal from.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                Err(_) => Steal::Retry,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn fifo_order() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_producers_and_stealers() {
+        let q = Injector::new();
+        let stolen = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(|| {
+                    for i in 0..500 {
+                        q.push(i);
+                    }
+                    let _ = t;
+                });
+            }
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    match q.steal() {
+                        Steal::Success(_) => {
+                            stolen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => {
+                            if stolen.load(std::sync::atomic::Ordering::SeqCst) == 2000 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(stolen.into_inner(), 2000);
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! `prop_flat_map`, `prop_recursive` and `boxed`; strategies for ranges,
+//! tuples, [`Just`](strategy::Just), `any::<T>()`, simple regex string
+//! patterns and [`collection::vec`]; and the [`proptest!`], [`prop_oneof!`]
+//! and `prop_assert*` macros.
+//!
+//! Differences from the real crate, chosen deliberately for this repo:
+//!
+//! * **Deterministic by construction** — every generated case is derived
+//!   from an FNV-1a hash of the test's module path and name plus the case
+//!   index, so a failing case reproduces on every run and machine with no
+//!   `proptest-regressions` files.
+//! * **No shrinking** — a failure reports the generated inputs via the
+//!   panic message (`Debug` formatting in `prop_assert*`), unminimized.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Runs a block of property tests.
+///
+/// Supports the same surface syntax as the real macro for the forms used in
+/// this workspace: an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Picks one of several strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

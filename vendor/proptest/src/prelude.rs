@@ -1,0 +1,10 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Alias for the crate root so `prop::collection::vec(..)` etc. resolve
+/// after a prelude glob import, as with the real crate.
+pub use crate as prop;

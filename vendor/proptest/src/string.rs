@@ -1,0 +1,186 @@
+//! String generation from a small regex subset.
+//!
+//! `&'static str` implements [`Strategy`] by interpreting the string as a
+//! pattern.  Supported syntax (enough for the patterns in this workspace,
+//! e.g. `"[a-z][a-z0-9_]{0,6}"`): literal characters, character classes
+//! `[..]` with ranges and singletons, and the quantifiers `{n}`, `{n,m}`,
+//! `?`, `*`, `+` (unbounded quantifiers are capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("checked is_some");
+                            let hi = chars.next().expect("checked peek");
+                            assert!(lo <= hi, "reversed range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                        c => {
+                            if let Some(p) = prev.replace(c) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            c => Atom::Literal(c),
+        };
+        let (min, max) = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("quantifier lower bound");
+                        let hi: usize = if hi.trim().is_empty() {
+                            lo + UNBOUNDED_CAP
+                        } else {
+                            hi.trim().parse().expect("quantifier upper bound")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: usize = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_from(pieces: &[Piece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let span = (hi as u64) - (lo as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick as u32).expect("valid char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing on every call keeps the strategy `Copy`-cheap; the
+        // patterns in this repo are a handful of characters.
+        generate_from(&parse_pattern(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern_matches_shape() {
+        let strat = "[a-z][a-z0-9_]{0,6}";
+        let mut rng = TestRng::new(4);
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().expect("nonempty");
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(s.len() <= 7, "{s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_literals() {
+        let mut rng = TestRng::new(8);
+        assert_eq!("abc".generate(&mut rng), "abc");
+        for _ in 0..100 {
+            let s = "x[0-9]+y?".generate(&mut rng);
+            assert!(s.starts_with('x'), "{s:?}");
+            let digits = s[1..].trim_end_matches('y');
+            assert!(!digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        }
+    }
+}

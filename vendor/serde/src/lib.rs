@@ -1,0 +1,22 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations on the architecture model types — nothing serializes yet
+//! (the `.tta` textual format in `tempo_ta::format` is hand-rolled).  With
+//! no crates.io access, this proc-macro crate accepts the derives and emits
+//! nothing, keeping the attribute surface source-compatible so the real
+//! serde can be dropped in later without touching the model types.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
