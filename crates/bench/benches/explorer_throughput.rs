@@ -5,46 +5,39 @@
 //! visible side by side.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tempo_bench::fischer;
 use tempo_check::{Explorer, ParallelOptions, SearchOptions};
-use tempo_ta::{ClockRef, RelOp, System, SystemBuilder, Update, VarExprExt};
-
-fn fischer(n: usize) -> System {
-    let mut sb = SystemBuilder::new("fischer");
-    let id = sb.add_var("id", 0, n as i64, 0);
-    let clocks: Vec<_> = (0..n).map(|i| sb.add_clock(format!("x{i}"))).collect();
-    for (i, &x) in clocks.iter().enumerate() {
-        let pid = (i + 1) as i64;
-        let mut p = sb.automaton(format!("P{pid}"));
-        let idle = p.location("idle").add();
-        let req = p.location("req").invariant(x.le(2)).add();
-        let wait = p.location("wait").add();
-        let cs = p.location("cs").add();
-        p.edge(idle, req).guard(id.eq_(0)).reset(x).add();
-        p.edge(req, wait)
-            .guard_clock(x.le(2))
-            .update(Update::assign(id, pid))
-            .reset(x)
-            .add();
-        p.edge(wait, cs)
-            .guard(id.eq_(pid))
-            .guard_clock(tempo_ta::ClockConstraint::new(x, RelOp::Gt, 2))
-            .add();
-        p.edge(wait, idle).guard(id.ne_(pid)).reset(x).add();
-        p.edge(cs, idle).update(Update::assign(id, 0)).add();
-        p.set_initial(idle);
-        p.build();
-    }
-    sb.build()
-}
 
 fn bench_explorer_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("explorer_throughput");
     group.sample_size(10);
     for &n in &[3usize, 4] {
-        let sys = fischer(n);
+        let sys = fischer(n, true);
         group.bench_function(format!("fischer{n}/sequential"), |b| {
             b.iter(|| {
                 let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+                black_box(ex.state_space_size().unwrap())
+            })
+        });
+        // Ablation of the PR 3 state-collapse machinery: active-clock
+        // reduction and exact zone merging, individually disabled.
+        group.bench_function(format!("fischer{n}/no_reduction"), |b| {
+            b.iter(|| {
+                let opts = SearchOptions {
+                    active_clock_reduction: false,
+                    ..SearchOptions::default()
+                };
+                let ex = Explorer::new(&sys, opts).unwrap();
+                black_box(ex.state_space_size().unwrap())
+            })
+        });
+        group.bench_function(format!("fischer{n}/no_merging"), |b| {
+            b.iter(|| {
+                let opts = SearchOptions {
+                    exact_zone_merging: false,
+                    ..SearchOptions::default()
+                };
+                let ex = Explorer::new(&sys, opts).unwrap();
                 black_box(ex.state_space_size().unwrap())
             })
         });

@@ -1,0 +1,94 @@
+//! Explorer throughput smoke: prints per-case-study state counts so the perf
+//! trajectory of the checker is visible in every CI job log.
+//!
+//! For each event-model column of the paper's Table 1 the binary analyses the
+//! AddressLookup requirement of the (quick, 8× slowed user streams) radio
+//! navigation case study twice — with active-clock reduction on and off — and
+//! prints the stored/explored state counts, the waiting-list high-water mark,
+//! the number of dead-clock canonicalizations and the wall-clock time.
+//!
+//! Run with `cargo run --release -p tempo_bench --bin explorer_state_counts`;
+//! pass `--full` to use the paper's original workload instead of the quick
+//! variant (slow; not for CI).
+
+use tempo_arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
+use tempo_arch::{analyze_requirement, AnalysisConfig};
+use tempo_check::{SearchOptions, SearchOrder};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut params = CaseStudyParams::default();
+    if !full {
+        params.volume_period = params.volume_period * 8;
+        params.lookup_period = params.lookup_period * 8;
+    }
+    let requirement = "AddressLookup (+ HandleTMC)";
+    println!(
+        "explorer_state_counts ({} workload), requirement: {requirement}",
+        if full { "full" } else { "quick" }
+    );
+    println!(
+        "{:<22} {:>9} {:>10} {:>10} {:>12} {:>12} {:>9} {:>10} {:>9}",
+        "column", "reduction", "stored", "explored", "peak_wait", "eliminated", "merged", "wcrt_ms", "secs"
+    );
+    for column in EventModelColumn::all() {
+        let model = radio_navigation(ScenarioCombo::AddressLookupWithTmc, column, &params);
+        let heavy = matches!(
+            column,
+            EventModelColumn::PeriodicJitter | EventModelColumn::Burst
+        );
+        for reduction in [true, false] {
+            // The unreduced pj/bur explorations blow past the 400k-state cap
+            // and would dominate the job; cap them (the TRUNCATED marker in
+            // the log is exactly the point) and skip them unless --full.
+            if !reduction && heavy && !full {
+                continue;
+            }
+            let cfg = AnalysisConfig {
+                search: SearchOptions {
+                    order: SearchOrder::Bfs,
+                    active_clock_reduction: reduction,
+                    max_states: if reduction { None } else { Some(400_000) },
+                    truncate_on_limit: true,
+                    ..SearchOptions::default()
+                },
+                ..AnalysisConfig::default()
+            };
+            match analyze_requirement(&model, requirement, &cfg) {
+                Ok(report) => {
+                    let wcrt = report
+                        .wcrt_ms()
+                        .map(|w| format!("{w:.3}"))
+                        .unwrap_or_else(|| {
+                            report
+                                .lower_bound
+                                .map(|lb| format!(">{:.3}", lb.as_millis_f64()))
+                                .unwrap_or_else(|| "-".into())
+                        });
+                    println!(
+                        "{:<22} {:>9} {:>10} {:>10} {:>12} {:>12} {:>9} {:>10} {:>9.2}{}",
+                        column.label(),
+                        if reduction { "on" } else { "off" },
+                        report.stats.states_stored,
+                        report.stats.states_explored,
+                        report.stats.peak_waiting,
+                        report.stats.clocks_eliminated,
+                        report.stats.zones_merged,
+                        wcrt,
+                        report.stats.duration.as_secs_f64(),
+                        if report.stats.truncated {
+                            "  TRUNCATED"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                Err(e) => println!(
+                    "{:<22} {:>9} analysis failed: {e}",
+                    column.label(),
+                    if reduction { "on" } else { "off" }
+                ),
+            }
+        }
+    }
+}

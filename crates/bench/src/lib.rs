@@ -123,6 +123,43 @@ pub fn table1_column(
         .collect()
 }
 
+/// Fischer's mutual-exclusion protocol over `n` processes with the classic
+/// constant 2 — the scalable checker workload shared by the criterion benches
+/// and the root-level test harnesses (one definition instead of a copy per
+/// call site).  `strict_wait = true` is the correct protocol (`x > 2` on the
+/// `wait → cs` edge); `false` weakens the guard to `x ≥ 2`, which breaks
+/// mutual exclusion and is useful as a "bug found?" fixture.
+pub fn fischer(n: usize, strict_wait: bool) -> tempo_ta::System {
+    use tempo_ta::{ClockRef, RelOp, SystemBuilder, Update, VarExprExt};
+    let mut sb = SystemBuilder::new("fischer");
+    let id = sb.add_var("id", 0, n as i64, 0);
+    let clocks: Vec<_> = (0..n).map(|i| sb.add_clock(format!("x{i}"))).collect();
+    for (i, &x) in clocks.iter().enumerate() {
+        let pid = (i + 1) as i64;
+        let mut p = sb.automaton(format!("P{pid}"));
+        let idle = p.location("idle").add();
+        let req = p.location("req").invariant(x.le(2)).add();
+        let wait = p.location("wait").add();
+        let cs = p.location("cs").add();
+        p.edge(idle, req).guard(id.eq_(0)).reset(x).add();
+        p.edge(req, wait)
+            .guard_clock(x.le(2))
+            .update(Update::assign(id, pid))
+            .reset(x)
+            .add();
+        let op = if strict_wait { RelOp::Gt } else { RelOp::Ge };
+        p.edge(wait, cs)
+            .guard(id.eq_(pid))
+            .guard_clock(tempo_ta::ClockConstraint::new(x, op, 2))
+            .add();
+        p.edge(wait, idle).guard(id.ne_(pid)).reset(x).add();
+        p.edge(cs, idle).update(Update::assign(id, 0)).add();
+        p.set_initial(idle);
+        p.build();
+    }
+    sb.build()
+}
+
 /// A scaled-down variant of the case-study parameters used by the `--quick`
 /// modes and by the criterion benches: the user streams are slowed down by
 /// `factor`, which shrinks the zone graph while keeping the structure (and the

@@ -37,6 +37,24 @@ pub struct SearchOptions {
     /// Whether to apply maximum-bounds extrapolation (disable only for
     /// debugging; exploration may then diverge).
     pub extrapolate: bool,
+    /// Whether to apply active-clock reduction: clocks that a static
+    /// inactivity analysis proves dead in a discrete state (reset before
+    /// their next read in every guard, invariant and query atom) are reset to
+    /// a canonical value before the state is stored, so states differing only
+    /// in dead-clock valuations merge in the passed list.  Verdict- and
+    /// supremum-preserving (see `tempo_ta::activity` and
+    /// `tests/reduction_differential.rs`); disable only to measure its effect
+    /// or to debug.
+    pub active_clock_reduction: bool,
+    /// Whether to merge stored zones whose union is *exactly* convex: when a
+    /// new zone and a stored zone of the same discrete state satisfy
+    /// `hull(A, B) = A ∪ B`, both are replaced by the hull
+    /// ([`tempo_dbm::Dbm::try_merge`]).  Unlike UPPAAL's `-C` convex-hull
+    /// over-approximation this never adds valuations, so verdicts and
+    /// suprema are preserved exactly.  Only applied to full explorations
+    /// (supremum queries, [`Explorer::explore`]) — never to targeted
+    /// reachability searches, whose diagnostic traces must stay concrete.
+    pub exact_zone_merging: bool,
     /// Abort the exploration after this many stored states.
     pub max_states: Option<usize>,
     /// When the state limit is reached, stop gracefully and mark the
@@ -55,6 +73,8 @@ impl Default for SearchOptions {
             order: SearchOrder::Bfs,
             seed: 0x7e4d0,
             extrapolate: true,
+            active_clock_reduction: true,
+            exact_zone_merging: true,
             max_states: None,
             truncate_on_limit: false,
             extra_clock_constants: Vec::new(),
@@ -78,7 +98,10 @@ pub struct ExplorationStats {
     /// Symbolic states popped from the waiting list and expanded.
     pub states_explored: usize,
     /// Symbolic states stored in the passed/waiting structure (after
-    /// inclusion subsumption).
+    /// inclusion subsumption).  The sequential explorer counts cumulative
+    /// insertions (zones later absorbed by subsumption or merging still
+    /// count — this is also what `max_states` bounds); the parallel explorer
+    /// reports the net live count.
     pub states_stored: usize,
     /// Zone-graph transitions computed.
     pub transitions: usize,
@@ -86,6 +109,18 @@ pub struct ExplorationStats {
     pub duration: Duration,
     /// `true` if the exploration stopped because of the state limit.
     pub truncated: bool,
+    /// Largest number of states simultaneously awaiting expansion (the
+    /// waiting-list high-water mark; for the parallel explorer, the peak of
+    /// queued-or-in-flight states).
+    pub peak_waiting: usize,
+    /// Number of dead-clock canonicalizations the active-clock reduction
+    /// applied (one per dead clock per computed symbolic state); `0` when the
+    /// reduction is disabled or every clock stays live.
+    pub clocks_eliminated: usize,
+    /// Number of exact convex-union merges of stored zones (see
+    /// [`SearchOptions::exact_zone_merging`]); `0` when merging is disabled
+    /// or the search is targeted.
+    pub zones_merged: usize,
 }
 
 /// One step of a diagnostic trace.
@@ -127,7 +162,7 @@ impl<'s> Explorer<'s> {
     /// Creates an explorer after validating the system.
     pub fn new(sys: &'s System, opts: SearchOptions) -> Result<Explorer<'s>, CheckError> {
         // Constructing a generator performs validation and feature checks.
-        SuccessorGen::new(sys, &opts.extra_clock_constants, opts.extrapolate)?;
+        SuccessorGen::new(sys, &opts)?;
         Ok(Explorer { sys, opts })
     }
 
@@ -159,13 +194,11 @@ impl<'s> Explorer<'s> {
         mut visit: F,
     ) -> Result<(Option<Vec<TraceStep>>, bool, ExplorationStats), CheckError> {
         let start = Instant::now();
-        let gen = SuccessorGen::for_query(
-            self.sys,
-            &self.opts.extra_clock_constants,
-            extra_consts,
-            query,
-            self.opts.extrapolate,
-        )?;
+        let gen = SuccessorGen::for_query(self.sys, &self.opts, extra_consts, query)?;
+        // Exact zone merging is restricted to untargeted explorations: a
+        // merged node has no single concrete predecessor path, so diagnostic
+        // traces (only produced for targeted searches) stay unmerged.
+        let merging = target.is_none() && self.opts.exact_zone_merging;
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
 
         let mut stats = ExplorationStats::default();
@@ -174,8 +207,10 @@ impl<'s> Explorer<'s> {
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = gen.initial_state()?;
-        if init.zone.is_empty() {
-            // Inconsistent initial invariants: nothing is reachable.
+        if init.zone.is_empty() || !gen.can_reach_query(&init.discrete) {
+            // Inconsistent initial invariants, or no query location atom is
+            // reachable at all: nothing relevant is reachable.
+            stats.clocks_eliminated = gen.clocks_eliminated();
             stats.duration = start.elapsed();
             return Ok((None, false, stats));
         }
@@ -190,6 +225,7 @@ impl<'s> Explorer<'s> {
         });
         waiting.push_back(0);
         stats.states_stored = 1;
+        stats.peak_waiting = 1;
 
         let mut found: Option<usize> = None;
         'search: while let Some(idx) = match self.opts.order {
@@ -210,8 +246,13 @@ impl<'s> Explorer<'s> {
             if self.opts.order == SearchOrder::RandomDfs {
                 succs.shuffle(&mut rng);
             }
-            for (succ, action) in succs {
+            for (mut succ, action) in succs {
                 if succ.zone.is_empty() {
+                    continue;
+                }
+                // Prune states that can no longer satisfy the query's
+                // location atoms (e.g. the observer's terminal location).
+                if !gen.can_reach_query(&succ.discrete) {
                     continue;
                 }
                 let zones = passed.entry(succ.discrete.clone()).or_default();
@@ -220,6 +261,9 @@ impl<'s> Explorer<'s> {
                 }
                 // Drop stored zones now subsumed by the new one.
                 zones.retain(|z| !succ.zone.includes(z));
+                if merging {
+                    stats.zones_merged += crate::merge::merge_into_antichain(&mut succ.zone, zones);
+                }
                 zones.push(succ.zone.clone());
                 let node_idx = nodes.len();
                 nodes.push(Node {
@@ -229,6 +273,7 @@ impl<'s> Explorer<'s> {
                 });
                 waiting.push_back(node_idx);
                 stats.states_stored += 1;
+                stats.peak_waiting = stats.peak_waiting.max(waiting.len());
                 if let Some(limit) = self.opts.max_states {
                     if stats.states_stored > limit {
                         if self.opts.truncate_on_limit {
@@ -244,6 +289,7 @@ impl<'s> Explorer<'s> {
             }
         }
 
+        stats.clocks_eliminated = gen.clocks_eliminated();
         stats.duration = start.elapsed();
         let trace = found.map(|mut idx| {
             let mut rev = Vec::new();
@@ -388,6 +434,60 @@ mod tests {
             assert!(!ex.check_reachable(&early).unwrap().reachable, "{order:?}");
             let ok = TargetSpec::location(&sys, "stage", "done").unwrap();
             assert!(ex.check_reachable(&ok).unwrap().reachable, "{order:?}");
+        }
+    }
+
+    /// A clock that is reset at unpredictable instants but never read: without
+    /// active-clock reduction its difference bounds against the live ticking
+    /// clock fragment the zone graph; with the reduction (default) it is
+    /// pinned to the canonical value and the fragments merge.
+    fn dead_clock_fragmentation() -> System {
+        let mut sb = SystemBuilder::new("frag");
+        let t = sb.add_clock("t");
+        let d = sb.add_clock("d");
+        let mut tick = sb.automaton("tick");
+        let l0 = tick.location("l0").invariant(t.le(3)).add();
+        tick.edge(l0, l0).guard_clock(t.eq_(3)).reset(t).add();
+        tick.set_initial(l0);
+        tick.build();
+        let mut sp = sb.automaton("spawn");
+        let s0 = sp.location("s0").add();
+        sp.edge(s0, s0).reset(d).add();
+        sp.set_initial(s0);
+        sp.build();
+        sb.build()
+    }
+
+    #[test]
+    fn active_clock_reduction_merges_dead_clock_states() {
+        let sys = dead_clock_fragmentation();
+        let on = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let off = Explorer::new(
+            &sys,
+            SearchOptions {
+                active_clock_reduction: false,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap();
+        let stats_on = on.explore(|_| {}).unwrap();
+        let stats_off = off.explore(|_| {}).unwrap();
+        assert!(stats_on.clocks_eliminated > 0, "reduction did not fire");
+        assert_eq!(stats_off.clocks_eliminated, 0);
+        assert!(
+            stats_on.states_stored < stats_off.states_stored,
+            "reduction should merge states: {} vs {}",
+            stats_on.states_stored,
+            stats_off.states_stored
+        );
+        assert!(stats_on.peak_waiting >= 1 && stats_off.peak_waiting >= 1);
+        // Verdicts agree regardless of the reduction.
+        let t = sys.clock_by_name("t").unwrap();
+        for (ex, name) in [(&on, "on"), (&off, "off")] {
+            let boundary = TargetSpec::any().with_clock_constraint(t.ge(3));
+            assert!(ex.check_reachable(&boundary).unwrap().reachable, "{name}");
+            let beyond = TargetSpec::any().with_clock_constraint(t.gt(3));
+            assert!(!ex.check_reachable(&beyond).unwrap().reachable, "{name}");
         }
     }
 

@@ -10,7 +10,14 @@
 //!   urgent channels (no delay while an urgent synchronization is enabled),
 //!   urgent and committed locations,
 //! * a passed/waiting list with zone-inclusion subsumption and
-//!   maximum-bounds extrapolation guarantees termination,
+//!   location-dependent ExtraLU extrapolation guarantees termination,
+//! * active-clock reduction (on by default, see
+//!   [`SearchOptions::active_clock_reduction`]): clocks a static inactivity
+//!   analysis proves dead in a discrete state are reset to a canonical value
+//!   before storing, so states differing only in dead-clock valuations merge
+//!   — this composes multiplicatively with extrapolation on the architecture
+//!   models, whose observer and environment clocks are dead in most
+//!   locations,
 //! * the search order can be breadth-first, depth-first or randomized
 //!   depth-first (the paper's `df` / `rdf` options used as a "structured
 //!   testing" fallback for very large models).
@@ -53,6 +60,7 @@ mod state;
 mod target;
 mod successor;
 mod explorer;
+mod merge;
 mod parallel;
 mod wcrt;
 

@@ -1,0 +1,82 @@
+//! Exact convex-union merging of passed-list zone antichains.
+//!
+//! When a freshly computed zone and an already-stored zone of the same
+//! discrete state have a union that is exactly convex
+//! ([`tempo_dbm::Dbm::try_merge`]), both are replaced by their common hull:
+//! the hull is expanded instead and covers the successors of everything it
+//! absorbed, so the merge is verdict- and supremum-preserving — it never adds
+//! valuations, unlike UPPAAL's `-C` convex-hull over-approximation.
+//!
+//! Merging is attempted newest-first with a bounded budget of *failed*
+//! attempts per insertion: breadth-first exploration produces mergeable
+//! neighbours close together in time, and an unbounded scan would make every
+//! insertion linear in the antichain length (quadratic overall), which
+//! dominates the runtime precisely on the blown-up models that merging is
+//! supposed to rescue.  A successful merge refreshes the budget, so cascades
+//! (the grown hull absorbing further zones) are never cut short.
+
+use tempo_dbm::Dbm;
+
+/// Maximum number of *failed* merge attempts per inserted zone.
+const MERGE_ATTEMPT_BUDGET: usize = 64;
+
+/// Merges `zone` with every stored zone it forms an exact convex union with
+/// (newest first, bounded failure budget), removing the absorbed zones from
+/// `zones` and growing `zone` to the common hull.  Returns the number of
+/// zones absorbed.  The caller is expected to push the final `zone` onto
+/// `zones` afterwards.
+pub(crate) fn merge_into_antichain(zone: &mut Dbm, zones: &mut Vec<Dbm>) -> usize {
+    let mut merged = 0;
+    let mut budget = MERGE_ATTEMPT_BUDGET;
+    let mut i = zones.len();
+    while i > 0 && budget > 0 {
+        i -= 1;
+        if let Some(hull) = zone.try_merge(&zones[i]) {
+            *zone = hull;
+            zones.swap_remove(i);
+            merged += 1;
+            // The grown hull may absorb zones already scanned: restart from
+            // the newest entry with a fresh failure budget.
+            budget = MERGE_ATTEMPT_BUDGET;
+            i = zones.len();
+        } else {
+            budget -= 1;
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_dbm::{Bound, Clock};
+
+    fn interval(lo: i64, hi: i64) -> Dbm {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(hi));
+        z.constrain(Clock::REF, Clock(1), Bound::weak(-lo));
+        z
+    }
+
+    #[test]
+    fn cascading_merge_absorbs_a_chain_of_intervals() {
+        // [0,1], [1,2], [3,4] stored; inserting [2,3] bridges the gap and the
+        // cascade collapses everything into [0,4].
+        let mut zones = vec![interval(0, 1), interval(1, 2), interval(3, 4)];
+        let mut zone = interval(2, 3);
+        let merged = merge_into_antichain(&mut zone, &mut zones);
+        assert_eq!(merged, 3);
+        assert!(zones.is_empty());
+        assert_eq!(zone, interval(0, 4));
+    }
+
+    #[test]
+    fn unmergeable_zones_are_left_alone() {
+        let mut zones = vec![interval(0, 1), interval(10, 11)];
+        let mut zone = interval(4, 5);
+        assert_eq!(merge_into_antichain(&mut zone, &mut zones), 0);
+        assert_eq!(zones.len(), 2);
+        assert_eq!(zone, interval(4, 5));
+    }
+}

@@ -85,6 +85,7 @@ impl ParallelOptions {
 struct SharedPassed {
     shards: Vec<Mutex<HashMap<DiscreteState, Vec<Dbm>>>>,
     stored: AtomicUsize,
+    merged: AtomicUsize,
 }
 
 impl SharedPassed {
@@ -92,6 +93,7 @@ impl SharedPassed {
         SharedPassed {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             stored: AtomicUsize::new(0),
+            merged: AtomicUsize::new(0),
         }
     }
 
@@ -102,27 +104,38 @@ impl SharedPassed {
     }
 
     /// Inserts the state unless an already-stored zone of the same discrete
-    /// state includes it.  Returns `true` when the state was inserted (and
-    /// therefore must be expanded).
-    fn insert(&self, state: &SymState) -> bool {
+    /// state includes it.  Returns `None` when the state was subsumed,
+    /// `Some(None)` when it was stored as-is (the caller expands its own
+    /// zone, avoiding a copy on the common path), and `Some(Some(hull))`
+    /// when `merge` absorbed stored zones into an exact convex union that
+    /// must be expanded instead.
+    fn insert(&self, state: &SymState, merge: bool) -> Option<Option<Dbm>> {
         let mut map = self.shards[self.shard_of(&state.discrete)].lock();
         let zones = map.entry(state.discrete.clone()).or_default();
         if zones.iter().any(|z| z.includes(&state.zone)) {
-            return false;
+            return None;
         }
-        let removed = {
+        let mut removed = {
             let before = zones.len();
             zones.retain(|z| !state.zone.includes(z));
             before - zones.len()
         };
-        zones.push(state.zone.clone());
+        let mut zone = state.zone.clone();
+        let mut merged = 0;
+        if merge {
+            merged = crate::merge::merge_into_antichain(&mut zone, zones);
+            removed += merged;
+            self.merged.fetch_add(merged, Ordering::Relaxed);
+        }
+        let result = if merged > 0 { Some(zone.clone()) } else { None };
+        zones.push(zone);
         // `removed` zones leave the store, one enters: net change 1 - removed.
         if removed > 0 {
             self.stored.fetch_sub(removed - 1, Ordering::Relaxed);
         } else {
             self.stored.fetch_add(1, Ordering::Relaxed);
         }
-        true
+        Some(result)
     }
 
     fn stored(&self) -> usize {
@@ -133,6 +146,7 @@ impl SharedPassed {
 struct WorkerOutcome {
     explored: usize,
     transitions: usize,
+    eliminated: usize,
     error: Option<CheckError>,
 }
 
@@ -154,19 +168,20 @@ impl<'s> Explorer<'s> {
     ) -> Result<(bool, ExplorationStats), CheckError> {
         let start = Instant::now();
         let opts = self.options();
-        let global_consts = &opts.extra_clock_constants;
         let sys = self.system();
         let workers = par.resolved_workers();
         let shards = par.resolved_shards(workers);
 
         // Validate once up front so worker threads can assume a well-formed
         // system (their own `SuccessorGen` construction is then cheap).
-        let gen0 =
-            SuccessorGen::for_query(sys, global_consts, extra_consts, query, opts.extrapolate)?;
+        let gen0 = SuccessorGen::for_query(sys, opts, extra_consts, query)?;
         let init = gen0.initial_state()?;
 
-        let mut stats = ExplorationStats::default();
-        if init.zone.is_empty() {
+        let mut stats = ExplorationStats {
+            clocks_eliminated: gen0.clocks_eliminated(),
+            ..ExplorationStats::default()
+        };
+        if init.zone.is_empty() || !gen0.can_reach_query(&init.discrete) {
             stats.duration = start.elapsed();
             return Ok((false, stats));
         }
@@ -174,17 +189,22 @@ impl<'s> Explorer<'s> {
         let passed = SharedPassed::new(shards);
         let queue: Injector<SymState> = Injector::new();
         let pending = AtomicUsize::new(0);
+        let peak_pending = AtomicUsize::new(1);
         let stop = AtomicBool::new(false);
         let found = AtomicBool::new(false);
         let truncated = AtomicBool::new(false);
         let limit_exceeded = AtomicBool::new(false);
 
-        passed.insert(&init);
+        passed.insert(&init, false);
         pending.fetch_add(1, Ordering::SeqCst);
         queue.push(init);
 
         let max_states = opts.max_states;
         let truncate_on_limit = opts.truncate_on_limit;
+        // Like the sequential explorer: exact merging only for untargeted
+        // explorations (targeted parallel searches return no trace either,
+        // but keeping the gate identical makes the stats comparable).
+        let merging = target.is_none() && opts.exact_zone_merging;
 
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -192,24 +212,19 @@ impl<'s> Explorer<'s> {
                 let queue = &queue;
                 let passed = &passed;
                 let pending = &pending;
+                let peak_pending = &peak_pending;
                 let stop = &stop;
                 let found = &found;
                 let truncated = &truncated;
                 let limit_exceeded = &limit_exceeded;
-                let global_consts = &global_consts;
                 handles.push(scope.spawn(move || {
                     let mut outcome = WorkerOutcome {
                         explored: 0,
                         transitions: 0,
+                        eliminated: 0,
                         error: None,
                     };
-                    let gen = match SuccessorGen::for_query(
-                        sys,
-                        global_consts,
-                        extra_consts,
-                        query,
-                        opts.extrapolate,
-                    ) {
+                    let gen = match SuccessorGen::for_query(sys, opts, extra_consts, query) {
                         Ok(g) => g,
                         Err(e) => {
                             outcome.error = Some(e);
@@ -254,12 +269,19 @@ impl<'s> Explorer<'s> {
                         match gen.successors(&state) {
                             Ok(succs) => {
                                 outcome.transitions += succs.len();
-                                for (succ, _action) in succs {
+                                for (mut succ, _action) in succs {
                                     if succ.zone.is_empty() {
                                         continue;
                                     }
-                                    if !passed.insert(&succ) {
+                                    // Prune states that can no longer satisfy
+                                    // the query's location atoms.
+                                    if !gen.can_reach_query(&succ.discrete) {
                                         continue;
+                                    }
+                                    match passed.insert(&succ, merging) {
+                                        Some(Some(hull)) => succ.zone = hull,
+                                        Some(None) => {}
+                                        None => continue,
                                     }
                                     if let Some(limit) = max_states {
                                         if passed.stored() > limit {
@@ -271,7 +293,8 @@ impl<'s> Explorer<'s> {
                                             stop.store(true, Ordering::SeqCst);
                                         }
                                     }
-                                    pending.fetch_add(1, Ordering::SeqCst);
+                                    let now = pending.fetch_add(1, Ordering::SeqCst) + 1;
+                                    peak_pending.fetch_max(now, Ordering::Relaxed);
                                     queue.push(succ);
                                 }
                             }
@@ -282,6 +305,7 @@ impl<'s> Explorer<'s> {
                         }
                         pending.fetch_sub(1, Ordering::SeqCst);
                     }
+                    outcome.eliminated = gen.clocks_eliminated();
                     outcome
                 }));
             }
@@ -291,9 +315,12 @@ impl<'s> Explorer<'s> {
         for outcome in &outcomes {
             stats.states_explored += outcome.explored;
             stats.transitions += outcome.transitions;
+            stats.clocks_eliminated += outcome.eliminated;
         }
         stats.states_stored = passed.stored();
         stats.truncated = truncated.load(Ordering::SeqCst);
+        stats.zones_merged = passed.merged.load(Ordering::Relaxed);
+        stats.peak_waiting = peak_pending.load(Ordering::Relaxed);
         stats.duration = start.elapsed();
 
         if let Some(outcome) = outcomes.into_iter().find(|o| o.error.is_some()) {

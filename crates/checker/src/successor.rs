@@ -2,7 +2,9 @@
 //! UPPAAL network semantics.
 
 use crate::error::CheckError;
+use crate::explorer::SearchOptions;
 use crate::state::{DiscreteState, SymState};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use tempo_dbm::Dbm;
@@ -110,51 +112,76 @@ pub struct SuccessorGen<'s> {
     ///
     /// Sound because the constraint language is diagonal-free.
     lu: tempo_ta::LuTable,
+    /// Location-dependent clock activity (static inactivity analysis with the
+    /// same reset-kill backward propagation, see [`tempo_ta::activity`]),
+    /// seeded with the query clocks exactly like the LU table.  Clocks dead in
+    /// a successor's discrete state are reset to the canonical value `0`
+    /// before the state is stored, so states that differ only in dead-clock
+    /// valuations hash and compare as equal — the active-clock reduction.
+    activity: tempo_ta::ActivityTable,
     /// Constants applied at every location (query constants of targets
     /// without location atoms).
     global_lower: Vec<i64>,
     global_upper: Vec<i64>,
-    /// Merged (lower, upper) vectors per discrete location vector.  The
+    /// Merged per-state constant vectors per discrete location vector.  The
     /// number of distinct location vectors is tiny compared to the number of
     /// symbolic states, so memoizing the merge keeps the per-successor
-    /// extrapolation allocation-free on the hot path.
-    merged_cache: std::cell::RefCell<HashMap<Vec<tempo_ta::LocId>, MergedLu>>,
+    /// extrapolation and reduction allocation-free on the hot path.
+    merged_cache: std::cell::RefCell<HashMap<Vec<tempo_ta::LocId>, Rc<StateConsts>>>,
+    /// Per query location atom, the set of locations of that automaton from
+    /// which the atom's location is reachable (location-graph
+    /// over-approximation).  States failing any entry can never satisfy the
+    /// query and are pruned by the explorer: e.g. once the measuring observer
+    /// reaches its terminal `done` location, the whole remaining run of the
+    /// system is irrelevant to the WCRT supremum and is not explored.
+    query_reach: Vec<(usize, Vec<bool>)>,
     extrapolate: bool,
+    reduce: bool,
+    /// Running count of dead-clock canonicalizations applied (one per dead
+    /// clock per computed symbolic state); reported as
+    /// [`crate::ExplorationStats::clocks_eliminated`].
+    eliminated: Cell<usize>,
 }
 
-/// Shared (lower, upper) extrapolation constant vectors for one discrete
-/// location vector.
-type MergedLu = Rc<(Vec<i64>, Vec<i64>)>;
+/// Merged per-clock data for one discrete location vector: the (lower, upper)
+/// extrapolation constants and the active-clock flags (element-wise maximum /
+/// union over every automaton's current location).
+struct StateConsts {
+    lower: Vec<i64>,
+    upper: Vec<i64>,
+    /// Indexed by DBM clock index; entry 0 unused.
+    active: Vec<bool>,
+    /// Number of `false` entries in `active` (excluding entry 0).
+    num_dead: usize,
+}
 
 impl<'s> SuccessorGen<'s> {
-    /// Creates a generator with globally applied extra constants; equivalent
-    /// to [`SuccessorGen::for_query`] without query constants.
-    pub fn new(
-        sys: &'s System,
-        extra_clock_constants: &[(tempo_ta::ClockId, i64)],
-        extrapolate: bool,
-    ) -> Result<SuccessorGen<'s>, CheckError> {
-        SuccessorGen::for_query(sys, extra_clock_constants, &[], None, extrapolate)
+    /// Creates a generator from search options alone; equivalent to
+    /// [`SuccessorGen::for_query`] without query constants.
+    pub fn new(sys: &'s System, opts: &SearchOptions) -> Result<SuccessorGen<'s>, CheckError> {
+        SuccessorGen::for_query(sys, opts, &[], None)
     }
 
     /// Creates a generator for a query.
     ///
-    /// * `global_clock_constants` (the caller's
-    ///   `SearchOptions::extra_clock_constants`) are respected at every
-    ///   location, as documented on that field.
+    /// * `opts.extra_clock_constants` are respected at every location, as
+    ///   documented on that field, and their clocks are treated as active
+    ///   everywhere.
     /// * `query_clock_constants` (target guard constants, WCRT caps) must
-    ///   survive extrapolation exactly wherever the query can observe them:
-    ///   when the query has location atoms they are seeded only at those
-    ///   locations and propagated backward (precision is needed on paths
-    ///   that can still reach the target, not after the clock's next
-    ///   reset), otherwise they apply everywhere.
+    ///   survive extrapolation — and active-clock reduction — exactly
+    ///   wherever the query can observe them: when the query has location
+    ///   atoms they are seeded only at those locations and propagated
+    ///   backward (precision is needed on paths that can still reach the
+    ///   target, not after the clock's next reset), otherwise they apply
+    ///   everywhere.
     pub fn for_query(
         sys: &'s System,
-        global_clock_constants: &[(tempo_ta::ClockId, i64)],
+        opts: &SearchOptions,
         query_clock_constants: &[(tempo_ta::ClockId, i64)],
         query: Option<&crate::target::TargetSpec>,
-        extrapolate: bool,
     ) -> Result<SuccessorGen<'s>, CheckError> {
+        let global_clock_constants: &[(tempo_ta::ClockId, i64)] = &opts.extra_clock_constants;
+        let extrapolate = opts.extrapolate;
         sys.validate()?;
         // Restriction checks that keep the semantics implementable with plain
         // zones: no clock guards on urgent synchronizations or broadcast
@@ -177,10 +204,12 @@ impl<'s> SuccessorGen<'s> {
             }
         }
         let mut lu = sys.location_lu_table();
+        let mut activity = sys.location_activity_table();
         let dim = sys.num_clocks() + 1;
         let mut global_lower = vec![0i64; dim];
         let mut global_upper = vec![0i64; dim];
-        let mut apply_globally = |constants: &[(tempo_ta::ClockId, i64)]| {
+        let mut apply_globally = |constants: &[(tempo_ta::ClockId, i64)],
+                                  activity: &mut tempo_ta::ActivityTable| {
             for (clock, value) in constants {
                 let idx = clock.dbm_clock().index();
                 if idx < dim {
@@ -190,32 +219,44 @@ impl<'s> SuccessorGen<'s> {
                     if *value > global_upper[idx] {
                         global_upper[idx] = *value;
                     }
+                    // A globally observed clock must never be canonicalized.
+                    activity.seed_everywhere(*clock);
                 }
             }
         };
-        apply_globally(global_clock_constants);
+        apply_globally(global_clock_constants, &mut activity);
         let seed_locations: &[(usize, tempo_ta::LocId)] = match query {
             Some(t) if !t.locations.is_empty() => &t.locations,
             _ => &[],
         };
         if seed_locations.is_empty() {
-            apply_globally(query_clock_constants);
+            apply_globally(query_clock_constants, &mut activity);
         } else {
             for &(ai, li) in seed_locations {
                 for (clock, value) in query_clock_constants {
                     lu.seed(ai, li, *clock, *value);
+                    activity.seed(ai, li, *clock);
                 }
             }
             sys.propagate_lu_table(&mut lu);
+            sys.propagate_activity_table(&mut activity);
         }
+        let query_reach = seed_locations
+            .iter()
+            .map(|&(ai, li)| (ai, sys.automata[ai].locations_reaching(li)))
+            .collect();
         Ok(SuccessorGen {
             sys,
             ranges: sys.var_ranges(),
             lu,
+            activity,
+            query_reach,
             global_lower,
             global_upper,
             merged_cache: std::cell::RefCell::new(HashMap::new()),
             extrapolate,
+            reduce: opts.active_clock_reduction,
+            eliminated: Cell::new(0),
         })
     }
 
@@ -225,18 +266,21 @@ impl<'s> SuccessorGen<'s> {
         self.sys
     }
 
-    /// The per-clock (lower, upper) constants in effect at the given discrete
-    /// state: element-wise maximum of the global query constants and every
-    /// automaton's location-dependent constants.  Memoized per location
-    /// vector.
-    fn state_lu_constants(&self, discrete: &DiscreteState) -> MergedLu {
+    /// The merged per-clock data in effect at the given discrete state: the
+    /// element-wise maximum of the global query constants and every
+    /// automaton's location-dependent LU constants, plus the union of the
+    /// per-location active-clock sets (a clock stays live as long as *any*
+    /// automaton may still observe it).  Memoized per location vector.
+    fn state_consts(&self, discrete: &DiscreteState) -> Rc<StateConsts> {
         if let Some(cached) = self.merged_cache.borrow().get(&discrete.locations) {
             return Rc::clone(cached);
         }
         let mut lower = self.global_lower.clone();
         let mut upper = self.global_upper.clone();
+        let mut active = vec![false; lower.len()];
         for (ai, loc) in discrete.locations.iter().enumerate() {
             let (l, u) = &self.lu.per_loc[ai][loc.index()];
+            let act = &self.activity.per_loc[ai][loc.index()];
             for i in 1..lower.len() {
                 if l[i] > lower[i] {
                     lower[i] = l[i];
@@ -244,20 +288,52 @@ impl<'s> SuccessorGen<'s> {
                 if u[i] > upper[i] {
                     upper[i] = u[i];
                 }
+                if act[i] {
+                    active[i] = true;
+                }
             }
         }
-        let merged = Rc::new((lower, upper));
+        let num_dead = active.iter().skip(1).filter(|a| !**a).count();
+        let merged = Rc::new(StateConsts {
+            lower,
+            upper,
+            active,
+            num_dead,
+        });
         self.merged_cache
             .borrow_mut()
             .insert(discrete.locations.clone(), Rc::clone(&merged));
         merged
     }
 
-    fn extrapolate_zone(&self, zone: &mut Dbm, discrete: &DiscreteState) {
-        if self.extrapolate {
-            let merged = self.state_lu_constants(discrete);
-            zone.extrapolate_lu(&merged.0, &merged.1);
+    /// Canonicalizes the clocks that are dead at `consts`' discrete state
+    /// (active-clock reduction), when enabled.
+    fn reduce_zone(&self, zone: &mut Dbm, consts: &StateConsts) {
+        if self.reduce && consts.num_dead > 0 {
+            let n = zone.restrict_to_active(&consts.active);
+            self.eliminated.set(self.eliminated.get() + n);
         }
+    }
+
+    fn extrapolate_zone(&self, zone: &mut Dbm, consts: &StateConsts) {
+        if self.extrapolate {
+            zone.extrapolate_lu(&consts.lower, &consts.upper);
+        }
+    }
+
+    /// Total number of dead-clock canonicalizations this generator applied.
+    pub fn clocks_eliminated(&self) -> usize {
+        self.eliminated.get()
+    }
+
+    /// `false` iff the discrete state provably cannot satisfy the query's
+    /// location atoms anymore (some atom's automaton has left the set of
+    /// locations from which the atom is reachable); such states need not be
+    /// stored or expanded.  Always `true` for queries without location atoms.
+    pub fn can_reach_query(&self, discrete: &DiscreteState) -> bool {
+        self.query_reach
+            .iter()
+            .all(|(ai, reach)| reach[discrete.locations[*ai].index()])
     }
 
     /// Applies the invariants of every automaton (at the given locations,
@@ -329,16 +405,22 @@ impl<'s> SuccessorGen<'s> {
         Ok(true)
     }
 
-    /// The initial symbolic state (delay-closed if permitted, extrapolated).
+    /// The initial symbolic state (reduced, delay-closed if permitted,
+    /// extrapolated).
     pub fn initial_state(&self) -> Result<SymState, CheckError> {
         let discrete = DiscreteState::initial(self.sys);
+        let consts = self.state_consts(&discrete);
         let mut zone = Dbm::zero(self.sys.num_clocks());
+        // All clocks start at the canonical value, so the reduction cannot
+        // change the initial zone; applying it anyway keeps the elimination
+        // count consistent with the transition path.
+        self.reduce_zone(&mut zone, &consts);
         self.apply_invariants(&mut zone, &discrete)?;
         if !zone.is_empty() && self.delay_allowed(&discrete)? {
             zone.up();
             self.apply_invariants(&mut zone, &discrete)?;
         }
-        self.extrapolate_zone(&mut zone, &discrete);
+        self.extrapolate_zone(&mut zone, &consts);
         Ok(SymState::new(discrete, zone))
     }
 
@@ -398,12 +480,18 @@ impl<'s> SuccessorGen<'s> {
                 zone.reset(c.dbm_clock(), *v);
             }
         }
-        // 5. invariants of the new discrete state.
+        // 5. active-clock reduction: clocks that are dead in the new discrete
+        //    state are reset to the canonical value, as if the transition had
+        //    reset them (sound because a dead clock is reset on every path
+        //    before it is next observed; see `tempo_ta::activity`).
+        let consts = self.state_consts(&new_discrete);
+        self.reduce_zone(&mut zone, &consts);
+        // 6. invariants of the new discrete state.
         self.apply_invariants(&mut zone, &new_discrete)?;
         if zone.is_empty() {
             return Ok(None);
         }
-        // 6. delay closure, when permitted.
+        // 7. delay closure, when permitted.
         if self.delay_allowed(&new_discrete)? {
             zone.up();
             self.apply_invariants(&mut zone, &new_discrete)?;
@@ -411,8 +499,8 @@ impl<'s> SuccessorGen<'s> {
                 return Ok(None);
             }
         }
-        // 7. extrapolation.
-        self.extrapolate_zone(&mut zone, &new_discrete);
+        // 8. extrapolation.
+        self.extrapolate_zone(&mut zone, &consts);
         Ok(Some((new_discrete, zone)))
     }
 
@@ -604,7 +692,7 @@ mod tests {
     #[test]
     fn initial_state_is_delay_closed_within_invariant() {
         let sys = periodic_system();
-        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let gen = SuccessorGen::new(&sys, &SearchOptions::default()).unwrap();
         let init = gen.initial_state().unwrap();
         let x = sys.clock_by_name("x").unwrap().dbm_clock();
         assert_eq!(init.zone.sup(x), tempo_dbm::Bound::weak(10));
@@ -613,7 +701,7 @@ mod tests {
     #[test]
     fn tick_successor_resets_clock_and_counts() {
         let sys = periodic_system();
-        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let gen = SuccessorGen::new(&sys, &SearchOptions::default()).unwrap();
         let init = gen.initial_state().unwrap();
         let succ = gen.successors(&init).unwrap();
         assert_eq!(succ.len(), 1);
@@ -657,7 +745,7 @@ mod tests {
     #[test]
     fn urgent_sync_forbids_delay() {
         let sys = urgent_pair();
-        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let gen = SuccessorGen::new(&sys, &SearchOptions::default()).unwrap();
         let init = gen.initial_state().unwrap();
         // pending = 1, so the urgent sync is enabled: no delay in the initial
         // state, hence x is still exactly 0.
@@ -690,7 +778,7 @@ mod tests {
         a.build();
         let sys = sb.build();
         assert!(matches!(
-            SuccessorGen::new(&sys, &[], true),
+            SuccessorGen::new(&sys, &SearchOptions::default()),
             Err(CheckError::ClockGuardOnUrgentEdge { .. })
         ));
     }
@@ -716,7 +804,7 @@ mod tests {
         b.set_initial(m0);
         b.build();
         let sys = sb.build();
-        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let gen = SuccessorGen::new(&sys, &SearchOptions::default()).unwrap();
         let init = gen.initial_state().unwrap();
         // From the initial state both automata can move.
         let succ = gen.successors(&init).unwrap();
@@ -767,7 +855,7 @@ mod tests {
             r.build();
         }
         let sys = sb.build();
-        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let gen = SuccessorGen::new(&sys, &SearchOptions::default()).unwrap();
         let init = gen.initial_state().unwrap();
         let succ = gen.successors(&init).unwrap();
         assert_eq!(succ.len(), 1);
@@ -785,7 +873,7 @@ mod tests {
     #[test]
     fn action_label_pretty_uses_names() {
         let sys = urgent_pair();
-        let gen = SuccessorGen::new(&sys, &[], true).unwrap();
+        let gen = SuccessorGen::new(&sys, &SearchOptions::default()).unwrap();
         let init = gen.initial_state().unwrap();
         let succ = gen.successors(&init).unwrap();
         let text = succ[0].1.pretty(&sys);

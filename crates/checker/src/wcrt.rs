@@ -280,6 +280,31 @@ mod tests {
         assert_eq!(auto.exact_value(), Some(7));
     }
 
+    /// The measured clock `y` is kept live by the query seeding, while the
+    /// job clock `x` dies once the observation is made: the reduction must
+    /// fire without disturbing the supremum.
+    #[test]
+    fn reduction_preserves_sup_and_reports_eliminations() {
+        let sys = job_with_observer();
+        let y = sys.clock_by_name("y").unwrap();
+        let seen = TargetSpec::location(&sys, "job", "seen").unwrap();
+        let on = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let off = Explorer::new(
+            &sys,
+            SearchOptions {
+                active_clock_reduction: false,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap();
+        let r_on = on.sup_clock_at(&seen, y, 1_000).unwrap();
+        let r_off = off.sup_clock_at(&seen, y, 1_000).unwrap();
+        assert_eq!(r_on.exact_value(), Some(7));
+        assert_eq!(r_on.exact_value(), r_off.exact_value());
+        assert!(r_on.stats.clocks_eliminated > 0, "reduction did not fire");
+        assert_eq!(r_off.stats.clocks_eliminated, 0);
+    }
+
     #[test]
     fn sup_of_unreachable_target_is_none() {
         let sys = job_with_observer();

@@ -348,6 +348,164 @@ impl Dbm {
         self
     }
 
+    /// Existentially projects clock `x` away (the zone of all valuations that
+    /// agree with a member valuation on every *other* clock), keeping `x`
+    /// non-negative.
+    ///
+    /// This is the "forget" half of dead-clock reduction: once a static
+    /// activity analysis has proved that `x` is reset before it is next read,
+    /// its current value carries no information and may be dropped.  The
+    /// operation preserves the canonical form.  Prefer
+    /// [`Dbm::reset_to_canonical`] for states that are hashed or compared:
+    /// pinning the clock keeps every matrix entry finite and makes zones that
+    /// agree on the live clocks *bitwise identical*, whereas freeing leaves
+    /// `∞` rows whose inclusion checks still work but whose delay closure
+    /// differs from freshly-reset clocks.
+    pub fn free_clock(&mut self, x: Clock) -> &mut Self {
+        self.free(x)
+    }
+
+    /// Resets clock `x` to the canonical dead-clock value `0`.
+    ///
+    /// Equivalent to [`Dbm::reset`] with value `0`: after the call the zone's
+    /// projection onto `x` is exactly `{0}` and every `x` row/column entry is
+    /// derived from the reference row/column, so the result depends only on
+    /// the projection of the zone onto the *other* clocks.  Two zones that
+    /// agree on all live clocks therefore become equal once every dead clock
+    /// is reset to the canonical value — which is what lets the explorer's
+    /// passed-list inclusion checks and hashes merge states that differ only
+    /// in dead-clock valuations.  Preserves the canonical form.
+    pub fn reset_to_canonical(&mut self, x: Clock) -> &mut Self {
+        self.reset(x, 0)
+    }
+
+    /// Applies [`Dbm::reset_to_canonical`] to every clock whose entry in
+    /// `active` is `false` (dead clocks), leaving active clocks untouched.
+    ///
+    /// `active` is indexed like the matrix (entry 0 is the reference clock and
+    /// ignored); missing entries are conservatively treated as active.
+    /// Returns the number of clocks that were canonicalized.  Preserves the
+    /// canonical form and never empties a non-empty zone.
+    pub fn restrict_to_active(&mut self, active: &[bool]) -> usize {
+        if self.empty {
+            return 0;
+        }
+        let mut eliminated = 0;
+        for i in 1..self.dim {
+            if !active.get(i).copied().unwrap_or(true) {
+                self.reset_to_canonical(Clock(i as u32));
+                eliminated += 1;
+            }
+        }
+        eliminated
+    }
+
+    /// The convex hull (smallest zone containing both operands): the
+    /// element-wise maximum of the two canonical matrices, which is again
+    /// canonical (each triangle inequality holds in both operands, hence for
+    /// the element-wise maximum).
+    pub fn convex_hull(&self, other: &Dbm) -> Dbm {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        if self.empty {
+            return other.clone();
+        }
+        if other.empty {
+            return self.clone();
+        }
+        let mut hull = self.clone();
+        for (h, o) in hull.m.iter_mut().zip(&other.m) {
+            if *o > *h {
+                *h = *o;
+            }
+        }
+        hull
+    }
+
+    /// Splits `self \ other` into zones, one per facet of `other` that cuts
+    /// into the remainder (the part beyond the facet), invoking `on_piece`
+    /// for every non-empty piece.  Stops early — returning `false` — as soon
+    /// as `on_piece` does, which lets [`Dbm::try_merge`] abort on the first
+    /// uncovered piece.  Both operands must be non-empty and same-dimension.
+    fn split_off_difference<F: FnMut(Dbm) -> bool>(&self, other: &Dbm, mut on_piece: F) -> bool {
+        debug_assert!(!self.empty && !other.empty);
+        let mut rem = self.clone();
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i == j {
+                    continue;
+                }
+                let facet = other.at(i, j);
+                if facet.is_infinity() || rem.at(i, j) <= facet {
+                    // The remainder already satisfies this facet (canonical
+                    // bounds are tight), nothing to split off.
+                    continue;
+                }
+                // The part of the remainder beyond the facet: ¬(xi − xj ≺ c)
+                // is (xj − xi ≺' −c) with flipped strictness.
+                let mut piece = rem.clone();
+                piece.constrain(
+                    Clock(j as u32),
+                    Clock(i as u32),
+                    Bound::new(-facet.constant(), !facet.is_strict()),
+                );
+                if !piece.is_empty() && !on_piece(piece) {
+                    return false;
+                }
+                rem.constrain(Clock(i as u32), Clock(j as u32), facet);
+                if rem.is_empty() {
+                    return true;
+                }
+            }
+        }
+        // What is left of `rem` lies inside `other` and is discarded.
+        true
+    }
+
+    /// The set difference `self \ other` as a list of (possibly overlapping-
+    /// free, jointly exhaustive) zones: for every facet of `other` that cuts
+    /// into the remainder, the part beyond the facet is split off.
+    pub fn subtract(&self, other: &Dbm) -> Vec<Dbm> {
+        if self.empty {
+            return Vec::new();
+        }
+        if other.empty {
+            return vec![self.clone()];
+        }
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut pieces = Vec::new();
+        self.split_off_difference(other, |piece| {
+            pieces.push(piece);
+            true
+        });
+        pieces
+    }
+
+    /// Attempts the *exact* union of two zones: returns their convex hull iff
+    /// the union is convex (`hull = self ∪ other`), `None` otherwise.
+    ///
+    /// Unlike UPPAAL's `-C` convex-hull over-approximation this never adds
+    /// valuations, so replacing the two zones by the merged one preserves all
+    /// verdicts and suprema exactly.  The exactness check is
+    /// `hull \ self ⊆ other`, computed with [`Dbm::subtract`].
+    pub fn try_merge(&self, other: &Dbm) -> Option<Dbm> {
+        if self.empty {
+            return Some(other.clone());
+        }
+        if other.empty {
+            return Some(self.clone());
+        }
+        let hull = self.convex_hull(other);
+        // Fused subtraction + coverage check with early exit: split off the
+        // parts of the hull beyond each of `self`'s facets and require each
+        // to lie inside `other`.  Most failing attempts abort on the first
+        // piece, which keeps failed merges cheap on the explorer's hot path.
+        if hull.split_off_difference(self, |piece| other.includes(&piece)) {
+            Some(hull)
+        } else {
+            None
+        }
+    }
+
     /// Element-wise intersection of two zones over the same clocks.
     pub fn intersect(&mut self, other: &Dbm) -> &mut Self {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
@@ -852,6 +1010,135 @@ mod tests {
         }
         assert!(z.contains_point(&[0, 4, 9]));
         assert!(!z.contains_point(&[0, 5, 9]));
+    }
+
+    #[test]
+    fn reset_to_canonical_pins_dead_clock_to_zero() {
+        let mut a = Dbm::zero(2);
+        a.up();
+        a.constrain(x(), Clock::REF, Bound::weak(5)); // x in [0, 5]
+        a.reset(y(), 1);
+        let mut b = Dbm::zero(2);
+        b.up();
+        b.constrain(x(), Clock::REF, Bound::weak(5));
+        b.reset(y(), 3); // same x projection, y pinned differently
+        assert!(a != b);
+        a.reset_to_canonical(y());
+        b.reset_to_canonical(y());
+        // The zones agreed on the live clock x, so canonicalizing the dead
+        // clock y makes them identical (same fingerprint for the passed list).
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.sup(y()), Bound::weak(0));
+        assert_eq!(a.inf(y()), (0, false));
+        // x's own bounds were untouched.
+        assert_eq!(a.sup(x()), Bound::weak(5));
+    }
+
+    #[test]
+    fn free_clock_is_projection() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(x(), Clock::REF, Bound::weak(3));
+        z.free_clock(x());
+        assert!(z.contains_point(&[0, 100, 2]));
+        assert_eq!(z.sup(x()), Bound::INFINITY);
+        // Canonical: re-closing changes nothing.
+        let mut c = z.clone();
+        c.close();
+        assert_eq!(c.relation(&z), Relation::Equal);
+    }
+
+    #[test]
+    fn restrict_to_active_canonicalizes_exactly_the_dead_clocks() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain(x(), Clock::REF, Bound::weak(7));
+        z.constrain(Clock::REF, y(), Bound::weak(-4));
+        let live_sup = z.sup(x());
+        // Entry 0 is the reference clock; x stays active, y is dead.
+        let n = z.restrict_to_active(&[true, true, false]);
+        assert_eq!(n, 1);
+        assert_eq!(z.sup(x()), live_sup);
+        assert_eq!(z.sup(y()), Bound::weak(0));
+        // Missing entries are treated as active: nothing changes.
+        let snapshot = z.clone();
+        assert_eq!(z.restrict_to_active(&[true]), 0);
+        assert_eq!(z, snapshot);
+        // Idempotent.
+        assert_eq!(z.restrict_to_active(&[true, true, false]), 1);
+        assert_eq!(z, snapshot);
+        // No-op on the empty zone.
+        let mut e = Dbm::empty(2);
+        assert_eq!(e.restrict_to_active(&[true, false, false]), 0);
+        assert!(e.is_empty());
+    }
+
+    fn interval(lo: i64, hi: i64) -> Dbm {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain(Clock(1), Clock::REF, Bound::weak(hi));
+        z.constrain(Clock::REF, Clock(1), Bound::weak(-lo));
+        z
+    }
+
+    #[test]
+    fn convex_hull_is_elementwise_max() {
+        let a = interval(0, 2);
+        let b = interval(5, 7);
+        let h = a.convex_hull(&b);
+        assert!(h.includes(&a) && h.includes(&b));
+        assert!(h.contains_point(&[0, 3])); // the gap is filled
+        // Hull with an empty zone is the other operand.
+        assert_eq!(Dbm::empty(1).convex_hull(&a), a);
+        assert_eq!(a.convex_hull(&Dbm::empty(1)), a);
+        // Canonical: re-closing changes nothing.
+        let mut c = h.clone();
+        c.close();
+        assert_eq!(c.relation(&h), Relation::Equal);
+    }
+
+    #[test]
+    fn subtract_splits_off_the_right_pieces() {
+        let z = interval(0, 10);
+        let pieces = z.subtract(&interval(3, 5));
+        assert!(!pieces.is_empty());
+        let covered = |v: i64| pieces.iter().any(|p| p.contains_point(&[0, v]));
+        assert!(covered(0) && covered(2) && covered(6) && covered(10));
+        assert!(!covered(3) && !covered(4) && !covered(5));
+        // Subtracting a superset leaves nothing.
+        assert!(z.subtract(&interval(0, 20)).is_empty());
+        // Subtracting the empty zone leaves the zone itself.
+        let all = z.subtract(&Dbm::empty(1));
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].relation(&z), Relation::Equal);
+    }
+
+    #[test]
+    fn try_merge_accepts_exactly_the_convex_unions() {
+        // Overlapping intervals: union convex.
+        let m = interval(0, 5).try_merge(&interval(3, 8)).expect("convex");
+        assert_eq!(m.relation(&interval(0, 8)), Relation::Equal);
+        // Adjacent intervals: union convex.
+        assert!(interval(0, 5).try_merge(&interval(5, 8)).is_some());
+        // Disjoint intervals with a gap: hull adds points, no merge.
+        assert!(interval(0, 2).try_merge(&interval(5, 7)).is_none());
+        // Two diagonal unit squares: hull adds the off-diagonal corners.
+        let square = |lo: i64| {
+            let mut z = Dbm::zero(2);
+            z.up();
+            z.constrain(x(), Clock::REF, Bound::weak(lo + 1));
+            z.constrain(Clock::REF, x(), Bound::weak(-lo));
+            z.free(y());
+            z.constrain(y(), Clock::REF, Bound::weak(lo + 1));
+            z.constrain(Clock::REF, y(), Bound::weak(-lo));
+            z
+        };
+        assert!(square(0).try_merge(&square(2)).is_none());
+        // A zone merges with itself and with any subset.
+        let z = interval(2, 9);
+        assert_eq!(z.try_merge(&z).unwrap().relation(&z), Relation::Equal);
+        assert_eq!(z.try_merge(&interval(3, 5)).unwrap().relation(&z), Relation::Equal);
     }
 
     #[test]

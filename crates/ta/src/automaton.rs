@@ -156,6 +156,32 @@ impl Automaton {
             .filter(move |(_, e)| e.source == from)
     }
 
+    /// The set of locations from which `target` is reachable in this
+    /// automaton's location graph (ignoring guards and synchronization, so an
+    /// over-approximation of dynamic reachability), indexed by [`LocId`].
+    /// `target` itself is always included.
+    ///
+    /// Used by the checker to prune states that can never satisfy a query
+    /// with location atoms — e.g. everything after the measuring observer has
+    /// entered its terminal location.
+    pub fn locations_reaching(&self, target: LocId) -> Vec<bool> {
+        let mut reach = vec![false; self.locations.len()];
+        reach[target.index()] = true;
+        loop {
+            let mut changed = false;
+            for e in &self.edges {
+                if reach[e.target.index()] && !reach[e.source.index()] {
+                    reach[e.source.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reach
+    }
+
     /// All clocks referenced by this automaton (guards, invariants, resets).
     pub fn referenced_clocks(&self) -> Vec<ClockId> {
         let mut out = Vec::new();
@@ -223,6 +249,18 @@ mod tests {
     fn referenced_clocks_deduplicated() {
         let a = sample();
         assert_eq!(a.referenced_clocks(), vec![ClockId(0)]);
+    }
+
+    #[test]
+    fn locations_reaching_is_backward_closure() {
+        // off <-> on plus a terminal sink reachable from on.
+        let mut a = sample();
+        a.locations.push(Location::new("sink"));
+        a.edges.push(Edge::new(LocId(1), LocId(2)));
+        let reach_on = a.locations_reaching(LocId(1));
+        assert_eq!(reach_on, vec![true, true, false]);
+        let reach_sink = a.locations_reaching(LocId(2));
+        assert_eq!(reach_sink, vec![true, true, true]);
     }
 
     #[test]

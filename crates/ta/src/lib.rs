@@ -50,6 +50,7 @@
 mod ids;
 mod expr;
 mod clockcon;
+pub mod activity;
 mod channel;
 mod automaton;
 mod system;
@@ -58,6 +59,7 @@ pub mod dot;
 pub mod format;
 mod validate;
 
+pub use activity::ActivityTable;
 pub use automaton::{Automaton, Edge, Location, LocationKind, Sync};
 pub use builder::{AutomatonBuilder, EdgeBuilder, LocationBuilder, SystemBuilder};
 pub use channel::{ChannelDecl, ChannelKind};

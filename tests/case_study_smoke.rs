@@ -21,12 +21,14 @@ fn quick_params() -> CaseStudyParams {
     p
 }
 
+// Until PR 3 the pj/bur columns had to be truncated at 400k stored states and
+// could only assert lower bounds; with active-clock reduction and exact zone
+// merging every column now completes, so no state cap is needed and the tests
+// assert exact WCRTs plus concrete state-count ceilings as regression guards.
 fn quick_cfg() -> AnalysisConfig {
     AnalysisConfig {
         search: SearchOptions {
             order: SearchOrder::Bfs,
-            max_states: Some(400_000),
-            truncate_on_limit: true,
             ..SearchOptions::default()
         },
         ..AnalysisConfig::default()
@@ -46,6 +48,15 @@ fn address_lookup_row_is_insensitive_to_radio_station_burstiness() {
     for column in EventModelColumn::all() {
         let model = radio_navigation(ScenarioCombo::AddressLookupWithTmc, column, &quick_params());
         let report = analyze_requirement(&model, "AddressLookup (+ HandleTMC)", &cfg).unwrap();
+        assert!(
+            !report.stats.truncated,
+            "column {column:?} truncated ({} states)",
+            report.stats.states_stored
+        );
+        assert!(
+            report.stats.clocks_eliminated > 0,
+            "column {column:?}: active-clock reduction never fired"
+        );
         values.push((column, report));
     }
     let po = values[0].1.wcrt.expect("po column is exact");
@@ -55,14 +66,32 @@ fn address_lookup_row_is_insensitive_to_radio_station_burstiness() {
     assert_eq!(values[2].1.wcrt, Some(pno), "sp column differs from pno");
     // Burstier TMC streams (pj, bur) can only *add* bounded bus blocking to
     // the high-priority AddressLookup chain, never reduce it, and everything
-    // stays well inside the 200 ms deadline.
+    // stays well inside the 200 ms deadline.  Since PR 3 both columns
+    // complete (formerly truncated at 400k stored states), so the WCRTs are
+    // exact — no lower-bound fallback.
     let deadline = TimeValue::millis(200);
     for (column, report) in values.iter().skip(3) {
-        let value = report.wcrt.or(report.lower_bound).expect("value or lower bound");
+        let value = report.wcrt.expect("un-truncated burst columns are exact");
         assert!(value >= po, "column {column:?}: {value} below the po value {po}");
         assert!(value < deadline, "column {column:?}: {value} violates the deadline");
+        assert!(
+            report.stats.zones_merged > 0,
+            "column {column:?}: exact zone merging never fired"
+        );
     }
     assert!(pno < deadline);
+    // Concrete state-count ceilings per column (measured: po 169, pno 1 100,
+    // sp 677, pj 61 270, bur 718 160 stored states) to catch state-space
+    // regressions; the pj column must stay below the former 400k truncation
+    // cap with comfortable margin.
+    let ceilings = [5_000usize, 20_000, 20_000, 120_000, 900_000];
+    for ((column, report), ceiling) in values.iter().zip(ceilings) {
+        assert!(
+            report.stats.states_stored < ceiling,
+            "column {column:?}: {} stored states exceeds the ceiling {ceiling}",
+            report.stats.states_stored
+        );
+    }
 }
 
 #[test]
@@ -94,19 +123,13 @@ fn all_requirements_of_the_quick_case_study_meet_their_deadlines() {
     for (requirement, combo) in tempo::arch::casestudy::table1_rows() {
         let model = radio_navigation(combo, EventModelColumn::Sporadic, &quick_params());
         let report = analyze_requirement(&model, requirement, &cfg).unwrap();
-        match report.wcrt {
-            Some(w) => assert!(
-                w < report.deadline,
-                "{requirement}: WCRT {w} violates deadline {}",
-                report.deadline
-            ),
-            None => {
-                // Truncated search: the lower bound must at least stay below
-                // the deadline for the quick variant.
-                let lb = report.lower_bound.expect("lower bound available");
-                assert!(lb < report.deadline, "{requirement}: lower bound already violates deadline");
-            }
-        }
+        assert!(!report.stats.truncated, "{requirement}: truncated");
+        let w = report.wcrt.expect("un-truncated searches yield exact WCRTs");
+        assert!(
+            w < report.deadline,
+            "{requirement}: WCRT {w} violates deadline {}",
+            report.deadline
+        );
     }
 }
 

@@ -18,12 +18,13 @@ fn quick_params() -> CaseStudyParams {
     p
 }
 
+// No state cap since PR 3: active-clock reduction plus exact zone merging let
+// every quick-workload analysis complete, so truncation would only mask
+// regressions (see `case_study_smoke.rs` for the per-column ceilings).
 fn quick_cfg() -> AnalysisConfig {
     AnalysisConfig {
         search: SearchOptions {
             order: SearchOrder::Bfs,
-            max_states: Some(400_000),
-            truncate_on_limit: true,
             ..SearchOptions::default()
         },
         ..AnalysisConfig::default()
@@ -86,6 +87,10 @@ fn parallel_and_sequential_wcrt_agree_on_the_case_study() {
     assert!(!parallel.cap_hit);
     assert_eq!(sequential.exact_value(), parallel.exact_value());
     assert!(sequential.exact_value().is_some());
+    // The active-clock reduction fires in both explorers (the observer and
+    // environment clocks are dead in most locations).
+    assert!(sequential.stats.clocks_eliminated > 0);
+    assert!(parallel.stats.clocks_eliminated > 0);
 }
 
 /// Folding functionality onto fewer processors removes bus traffic and

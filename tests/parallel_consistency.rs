@@ -5,39 +5,10 @@
 //! weakened (non-strict guard) variant.
 
 use tempo::check::{Explorer, ParallelOptions, SearchOptions, TargetSpec};
-use tempo::ta::{ClockRef, RelOp, System, SystemBuilder, Update, VarExprExt};
+use tempo::ta::{ClockRef, System};
+use tempo_bench::fischer;
 
 const K: i64 = 2;
-
-fn fischer(n: usize, strict_wait: bool) -> System {
-    let mut sb = SystemBuilder::new("fischer");
-    let id = sb.add_var("id", 0, n as i64, 0);
-    let clocks: Vec<_> = (0..n).map(|i| sb.add_clock(format!("x{i}"))).collect();
-    for (i, &x) in clocks.iter().enumerate() {
-        let pid = (i + 1) as i64;
-        let mut p = sb.automaton(format!("P{pid}"));
-        let idle = p.location("idle").add();
-        let req = p.location("req").invariant(x.le(K)).add();
-        let wait = p.location("wait").add();
-        let cs = p.location("cs").add();
-        p.edge(idle, req).guard(id.eq_(0)).reset(x).add();
-        p.edge(req, wait)
-            .guard_clock(x.le(K))
-            .update(Update::assign(id, pid))
-            .reset(x)
-            .add();
-        let op = if strict_wait { RelOp::Gt } else { RelOp::Ge };
-        p.edge(wait, cs)
-            .guard(id.eq_(pid))
-            .guard_clock(tempo::ta::ClockConstraint::new(x, op, K))
-            .add();
-        p.edge(wait, idle).guard(id.ne_(pid)).reset(x).add();
-        p.edge(cs, idle).update(Update::assign(id, 0)).add();
-        p.set_initial(idle);
-        p.build();
-    }
-    sb.build()
-}
 
 fn mutex_violation_targets(sys: &System, n: usize) -> Vec<TargetSpec> {
     let mut targets = Vec::new();

@@ -1,0 +1,333 @@
+//! Differential test harness for the active-clock reduction.
+//!
+//! The reduction (`SearchOptions::active_clock_reduction`, on by default)
+//! resets clocks that the static inactivity analysis proves dead to a
+//! canonical value before states are stored.  It is *claimed* to be exact —
+//! verdict-, supremum- and WCRT-preserving — and this harness is the proof
+//! obligation: for a corpus of pseudo-randomly generated architectures plus
+//! the Fischer, TDMA and burst fixtures, every analysis is run twice, with
+//! the reduction on and off, and the results must be identical.  The state
+//! counts, on the other hand, must show the reduction actually firing (fewer
+//! or equally many stored states, a non-zero elimination count) — a reduction
+//! that never fires would pass any differential check vacuously.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo::arch::prelude::*;
+use tempo::check::{Explorer, SearchOptions, TargetSpec};
+
+fn cfg2(reduction: bool, merging: bool) -> AnalysisConfig {
+    AnalysisConfig {
+        search: SearchOptions {
+            active_clock_reduction: reduction,
+            exact_zone_merging: merging,
+            ..SearchOptions::default()
+        },
+        ..AnalysisConfig::default()
+    }
+}
+
+fn cfg(reduction: bool) -> AnalysisConfig {
+    cfg2(reduction, true)
+}
+
+/// Asserts that the two analyses of `requirement` agree on everything a user
+/// can observe, and returns the (reduced, unreduced) stored-state counts.
+fn assert_requirement_matches(model: &ArchitectureModel, requirement: &str) -> (usize, usize) {
+    let on = analyze_requirement(model, requirement, &cfg(true))
+        .unwrap_or_else(|e| panic!("{}/{requirement} with reduction: {e}", model.name));
+    let off = analyze_requirement(model, requirement, &cfg(false))
+        .unwrap_or_else(|e| panic!("{}/{requirement} without reduction: {e}", model.name));
+    assert_eq!(
+        on.wcrt, off.wcrt,
+        "{}/{requirement}: WCRT differs with reduction on vs off",
+        model.name
+    );
+    assert_eq!(
+        on.lower_bound, off.lower_bound,
+        "{}/{requirement}: lower bound differs",
+        model.name
+    );
+    assert_eq!(
+        on.meets_deadline, off.meets_deadline,
+        "{}/{requirement}: deadline verdict differs",
+        model.name
+    );
+    assert_eq!(off.stats.clocks_eliminated, 0);
+    assert!(
+        on.stats.states_stored <= off.stats.states_stored,
+        "{}/{requirement}: reduction stored more states ({} vs {})",
+        model.name,
+        on.stats.states_stored,
+        off.stats.states_stored
+    );
+    (on.stats.states_stored, off.stats.states_stored)
+}
+
+/// A small pseudo-random architecture: two processors and a bus, two
+/// scenarios with random event models, service times, mappings and policies.
+/// Utilisation stays low by construction so every model is schedulable and
+/// every queue bounded.
+fn random_model(seed: u64) -> ArchitectureModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = ArchitectureModel::new(format!("gen{seed}"));
+    let policies = [
+        SchedulingPolicy::NonPreemptiveNd,
+        SchedulingPolicy::FixedPriorityPreemptive,
+        SchedulingPolicy::FixedPriorityNonPreemptive,
+    ];
+    let cpu_a = m.add_processor("CPU_A", 1, policies[rng.gen_range(0usize..3)]);
+    let cpu_b = m.add_processor("CPU_B", 1, policies[rng.gen_range(0usize..3)]);
+    let bus = m.add_bus("BUS", 8_000, BusArbitration::FixedPriority);
+    for i in 0..2u32 {
+        let period_ms = [20i128, 25, 40, 50][rng.gen_range(0usize..4)];
+        let period = TimeValue::millis(period_ms);
+        let stimulus = match rng.gen_range(0..4) {
+            0 => EventModel::Periodic { period },
+            1 => EventModel::Sporadic {
+                min_interarrival: period,
+            },
+            2 => EventModel::PeriodicOffset {
+                period,
+                offset: TimeValue::ZERO,
+            },
+            _ => EventModel::PeriodicJitter {
+                period,
+                jitter: TimeValue::millis(period_ms / 2),
+            },
+        };
+        let first_cpu = if rng.gen_bool(0.5) { cpu_a } else { cpu_b };
+        let mut steps = vec![Step::Execute {
+            operation: format!("op{i}"),
+            instructions: rng.gen_range(1_000..4_000) as u64,
+            on: first_cpu,
+        }];
+        if rng.gen_bool(0.5) {
+            steps.push(Step::Transfer {
+                message: format!("msg{i}"),
+                bytes: rng.gen_range(1..3) as u64,
+                over: bus,
+            });
+            steps.push(Step::Execute {
+                operation: format!("op{i}_tail"),
+                instructions: rng.gen_range(1_000..3_000) as u64,
+                on: if first_cpu == cpu_a { cpu_b } else { cpu_a },
+            });
+        }
+        let last = steps.len() - 1;
+        let sid = m.add_scenario(Scenario {
+            name: format!("s{i}"),
+            stimulus,
+            priority: i,
+            steps,
+        });
+        m.add_requirement(Requirement {
+            name: format!("r{i}"),
+            scenario: sid,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(last),
+            deadline: period,
+        });
+    }
+    m
+}
+
+#[test]
+fn generated_architecture_corpus_verdicts_match() {
+    let mut reduced_ever_smaller = false;
+    for seed in 0..8u64 {
+        let model = random_model(seed);
+        for req in ["r0", "r1"] {
+            let (on, off) = assert_requirement_matches(&model, req);
+            if on < off {
+                reduced_ever_smaller = true;
+            }
+        }
+    }
+    assert!(
+        reduced_ever_smaller,
+        "the reduction never shrank any corpus state space — it is not firing"
+    );
+}
+
+#[test]
+fn fischer_verdicts_and_state_space_match() {
+    // Fischer's mutual exclusion (shared fixture from `tempo_bench`): safety
+    // verdict and full state-space size, built directly at the TA level.
+    let sys = tempo_bench::fischer(3, true);
+    let in_cs = |i: usize| TargetSpec::location(&sys, &format!("P{}", i + 1), "cs").unwrap();
+    let mut sizes = Vec::new();
+    let mut verdicts = Vec::new();
+    for reduction in [true, false] {
+        let ex = Explorer::new(
+            &sys,
+            SearchOptions {
+                active_clock_reduction: reduction,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap();
+        // Mutual exclusion: no two processes in the critical section.
+        let mut violation_reachable = false;
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let both = TargetSpec::location(&sys, &format!("P{}", a + 1), "cs")
+                    .unwrap()
+                    .and_location(&sys, &format!("P{}", b + 1), "cs")
+                    .unwrap();
+                violation_reachable |= ex.check_reachable(&both).unwrap().reachable;
+            }
+        }
+        // Each process can individually enter the critical section.
+        let single = ex.check_reachable(&in_cs(0)).unwrap().reachable;
+        verdicts.push((violation_reachable, single));
+        let stats = ex.explore(|_| {}).unwrap();
+        if reduction {
+            assert!(stats.clocks_eliminated > 0, "reduction did not fire on Fischer");
+        }
+        sizes.push(stats.states_stored);
+    }
+    assert_eq!(verdicts[0], verdicts[1]);
+    assert_eq!(verdicts[0], (false, true));
+    assert!(
+        sizes[0] <= sizes[1],
+        "reduction stored more states: {} vs {}",
+        sizes[0],
+        sizes[1]
+    );
+}
+
+/// A TDMA bus (time-triggered slots) carrying two scenarios' messages.
+#[test]
+fn tdma_fixture_matches() {
+    let mut m = ArchitectureModel::new("tdma");
+    let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityNonPreemptive);
+    let bus = m.add_bus(
+        "TDMA",
+        8_000,
+        BusArbitration::Tdma {
+            slot: TimeValue::millis(4),
+        },
+    );
+    for (i, period_ms) in [24i128, 36].iter().enumerate() {
+        let sid = m.add_scenario(Scenario {
+            name: format!("s{i}"),
+            stimulus: EventModel::Periodic {
+                period: TimeValue::millis(*period_ms),
+            },
+            priority: i as u32,
+            steps: vec![
+                Step::Execute {
+                    operation: format!("prep{i}"),
+                    instructions: 2_000,
+                    on: cpu,
+                },
+                Step::Transfer {
+                    message: format!("frame{i}"),
+                    bytes: 2,
+                    over: bus,
+                },
+            ],
+        });
+        m.add_requirement(Requirement {
+            name: format!("r{i}"),
+            scenario: sid,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(1),
+            deadline: TimeValue::millis(*period_ms),
+        });
+    }
+    for req in ["r0", "r1"] {
+        assert_requirement_matches(&m, req);
+    }
+}
+
+/// The paper's intractable corner scaled down: a bursty low-priority stream
+/// (J > P) interfering with a periodic high-priority task.
+#[test]
+fn burst_fixture_matches() {
+    let mut m = ArchitectureModel::new("burst");
+    let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityPreemptive);
+    m.add_scenario(Scenario {
+        name: "hi".into(),
+        stimulus: EventModel::Periodic {
+            period: TimeValue::millis(5),
+        },
+        priority: 0,
+        steps: vec![Step::Execute {
+            operation: "short".into(),
+            instructions: 1_000,
+            on: cpu,
+        }],
+    });
+    let lo = m.add_scenario(Scenario {
+        name: "lo".into(),
+        stimulus: EventModel::Burst {
+            period: TimeValue::millis(12),
+            jitter: TimeValue::millis(24),
+            min_separation: TimeValue::millis(1),
+        },
+        priority: 1,
+        steps: vec![Step::Execute {
+            operation: "long".into(),
+            instructions: 3_000,
+            on: cpu,
+        }],
+    });
+    m.add_requirement(Requirement {
+        name: "lo-e2e".into(),
+        scenario: lo,
+        from: MeasurePoint::Stimulus,
+        to: MeasurePoint::AfterStep(0),
+        deadline: TimeValue::millis(60),
+    });
+    let (on, off) = assert_requirement_matches(&m, "lo-e2e");
+    assert!(
+        on < off,
+        "the burst environment should leave dead clocks to eliminate ({on} vs {off})"
+    );
+}
+
+/// Exact zone merging (the second half of the state-collapse machinery) must
+/// also be invisible to every observable result: same WCRTs with merging on
+/// and off, across the corpus and the burst fixture, while actually firing.
+#[test]
+fn exact_zone_merging_is_wcrt_preserving() {
+    let mut merges_seen = false;
+    for seed in [1u64, 4, 6] {
+        let model = random_model(seed);
+        for req in ["r0", "r1"] {
+            let with = analyze_requirement(&model, req, &cfg2(true, true)).unwrap();
+            let without = analyze_requirement(&model, req, &cfg2(true, false)).unwrap();
+            assert_eq!(with.wcrt, without.wcrt, "{}/{req}: merging changed the WCRT", model.name);
+            assert_eq!(with.lower_bound, without.lower_bound, "{}/{req}", model.name);
+            assert_eq!(without.stats.zones_merged, 0);
+            assert!(
+                with.stats.states_stored <= without.stats.states_stored,
+                "{}/{req}: merging stored more states",
+                model.name
+            );
+            merges_seen |= with.stats.zones_merged > 0;
+        }
+    }
+    assert!(merges_seen, "exact zone merging never fired on the corpus");
+}
+
+/// One quick-workload case-study column end to end: the sp column of the
+/// AddressLookup row, exact on both sides and strictly smaller when reduced.
+#[test]
+fn case_study_sp_column_matches() {
+    let mut params = CaseStudyParams::default();
+    params.volume_period = params.volume_period * 8;
+    params.lookup_period = params.lookup_period * 8;
+    let model = radio_navigation(
+        ScenarioCombo::AddressLookupWithTmc,
+        EventModelColumn::Sporadic,
+        &params,
+    );
+    let (on, off) = assert_requirement_matches(&model, "AddressLookup (+ HandleTMC)");
+    assert!(
+        on < off,
+        "reduction should shrink the sp column ({on} vs {off})"
+    );
+}
