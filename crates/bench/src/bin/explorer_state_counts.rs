@@ -1,43 +1,115 @@
 //! Explorer throughput smoke: prints per-case-study state counts so the perf
-//! trajectory of the checker is visible in every CI job log.
+//! trajectory of the checker is visible in every CI job log, and writes the
+//! same numbers to a machine-readable `BENCH_explorer.json`.
 //!
 //! For each event-model column of the paper's Table 1 the binary analyses the
 //! AddressLookup requirement of the (quick, 8× slowed user streams) radio
-//! navigation case study twice — with active-clock reduction on and off — and
-//! prints the stored/explored state counts, the waiting-list high-water mark,
-//! the number of dead-clock canonicalizations and the wall-clock time.
+//! navigation case study with the flat and the federation passed-list stores
+//! (plus, for the light columns, with active-clock reduction off) and prints
+//! the stored/explored state counts, the union-subsumption and eviction
+//! counts, the waiting-list high-water mark, the number of dead-clock
+//! canonicalizations and the wall-clock time.
 //!
 //! Run with `cargo run --release -p tempo_bench --bin explorer_state_counts`;
 //! pass `--full` to use the paper's original workload instead of the quick
-//! variant (slow; not for CI).
+//! variant (slow; not for CI) and `--json <path>` to redirect the JSON
+//! output (default `BENCH_explorer.json` in the working directory).
 
 use tempo_arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
-use tempo_arch::{analyze_requirement, AnalysisConfig};
+use tempo_arch::{analyze_requirement, AnalysisConfig, StorageKind, WcrtReport};
 use tempo_check::{SearchOptions, SearchOrder};
 
+struct Row {
+    column: &'static str,
+    storage: &'static str,
+    reduction: bool,
+    report: WcrtReport,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the rows as a JSON document (no serde in the offline build — the
+/// structure is flat enough to emit by hand).
+fn to_json(workload: &str, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", esc(workload)));
+    out.push_str("  \"columns\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let s = &row.report.stats;
+        let wcrt = match row.report.wcrt_ms() {
+            Some(w) => format!("{w:.6}"),
+            None => "null".into(),
+        };
+        let lower = match row.report.lower_bound {
+            Some(lb) => format!("{:.6}", lb.as_millis_f64()),
+            None => "null".into(),
+        };
+        out.push_str(&format!(
+            "    {{\"column\": \"{}\", \"storage\": \"{}\", \"reduction\": {}, \
+             \"stored\": {}, \"explored\": {}, \"transitions\": {}, \
+             \"subsumed_by_union\": {}, \"evicted\": {}, \"merged\": {}, \
+             \"live_zones\": {}, \"peak_waiting\": {}, \"clocks_eliminated\": {}, \
+             \"truncated\": {}, \"wcrt_ms\": {}, \"lower_bound_ms\": {}, \
+             \"wall_seconds\": {:.6}}}{}\n",
+            esc(row.column),
+            row.storage,
+            row.reduction,
+            s.states_stored,
+            s.states_explored,
+            s.transitions,
+            s.zones_subsumed_by_union,
+            s.zones_evicted,
+            s.zones_merged,
+            s.zones_live,
+            s.peak_waiting,
+            s.clocks_eliminated,
+            s.truncated,
+            wcrt,
+            lower,
+            s.duration.as_secs_f64(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_explorer.json".to_string());
     let mut params = CaseStudyParams::default();
     if !full {
         params.volume_period = params.volume_period * 8;
         params.lookup_period = params.lookup_period * 8;
     }
+    let workload = if full { "full" } else { "quick" };
     let requirement = "AddressLookup (+ HandleTMC)";
+    println!("explorer_state_counts ({workload} workload), requirement: {requirement}");
     println!(
-        "explorer_state_counts ({} workload), requirement: {requirement}",
-        if full { "full" } else { "quick" }
+        "{:<22} {:>10} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9} {:>12} {:>10} {:>9}",
+        "column", "storage", "reduction", "stored", "explored", "sub_union", "evicted", "merged",
+        "eliminated", "wcrt_ms", "secs"
     );
-    println!(
-        "{:<22} {:>9} {:>10} {:>10} {:>12} {:>12} {:>9} {:>10} {:>9}",
-        "column", "reduction", "stored", "explored", "peak_wait", "eliminated", "merged", "wcrt_ms", "secs"
-    );
+    let mut rows: Vec<Row> = Vec::new();
     for column in EventModelColumn::all() {
         let model = radio_navigation(ScenarioCombo::AddressLookupWithTmc, column, &params);
         let heavy = matches!(
             column,
             EventModelColumn::PeriodicJitter | EventModelColumn::Burst
         );
-        for reduction in [true, false] {
+        for (storage, reduction) in [
+            (StorageKind::Flat, true),
+            (StorageKind::Federation, true),
+            (StorageKind::Flat, false),
+        ] {
             // The unreduced pj/bur explorations blow past the 400k-state cap
             // and would dominate the job; cap them (the TRUNCATED marker in
             // the log is exactly the point) and skip them unless --full.
@@ -48,11 +120,16 @@ fn main() {
                 search: SearchOptions {
                     order: SearchOrder::Bfs,
                     active_clock_reduction: reduction,
+                    storage,
                     max_states: if reduction { None } else { Some(400_000) },
                     truncate_on_limit: true,
                     ..SearchOptions::default()
                 },
                 ..AnalysisConfig::default()
+            };
+            let storage_label = match storage {
+                StorageKind::Flat => "flat",
+                StorageKind::Federation => "federation",
             };
             match analyze_requirement(&model, requirement, &cfg) {
                 Ok(report) => {
@@ -66,14 +143,16 @@ fn main() {
                                 .unwrap_or_else(|| "-".into())
                         });
                     println!(
-                        "{:<22} {:>9} {:>10} {:>10} {:>12} {:>12} {:>9} {:>10} {:>9.2}{}",
+                        "{:<22} {:>10} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9} {:>12} {:>10} {:>9.2}{}",
                         column.label(),
+                        storage_label,
                         if reduction { "on" } else { "off" },
                         report.stats.states_stored,
                         report.stats.states_explored,
-                        report.stats.peak_waiting,
-                        report.stats.clocks_eliminated,
+                        report.stats.zones_subsumed_by_union,
+                        report.stats.zones_evicted,
                         report.stats.zones_merged,
+                        report.stats.clocks_eliminated,
                         wcrt,
                         report.stats.duration.as_secs_f64(),
                         if report.stats.truncated {
@@ -82,13 +161,25 @@ fn main() {
                             ""
                         }
                     );
+                    rows.push(Row {
+                        column: column.label(),
+                        storage: storage_label,
+                        reduction,
+                        report,
+                    });
                 }
                 Err(e) => println!(
-                    "{:<22} {:>9} analysis failed: {e}",
+                    "{:<22} {:>10} {:>9} analysis failed: {e}",
                     column.label(),
+                    storage_label,
                     if reduction { "on" } else { "off" }
                 ),
             }
         }
+    }
+    let json = to_json(workload, &rows);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 }

@@ -1,15 +1,15 @@
 //! The reachability engine: passed/waiting list exploration of the zone graph.
 
 use crate::error::CheckError;
-use crate::state::{DiscreteState, SymState};
+use crate::state::SymState;
+use crate::store::{self, Insert, StorageKind};
 use crate::successor::{ActionLabel, SuccessorGen};
 use crate::target::TargetSpec;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
-use tempo_dbm::Dbm;
 use tempo_ta::{ClockId, System};
 
 /// Exploration order of the waiting list, corresponding to UPPAAL's
@@ -55,6 +55,12 @@ pub struct SearchOptions {
     /// (supremum queries, [`Explorer::explore`]) — never to targeted
     /// reachability searches, whose diagnostic traces must stay concrete.
     pub exact_zone_merging: bool,
+    /// The passed/waiting storage discipline (see [`StorageKind`]): the flat
+    /// single-zone-inclusion antichain store (default), or the federation
+    /// store whose union-coverage subsumption discards a zone already covered
+    /// by the *union* of the stored zones — exact, and decisive on the
+    /// case-study columns whose zone graphs fragment into overlapping zones.
+    pub storage: StorageKind,
     /// Abort the exploration after this many stored states.
     pub max_states: Option<usize>,
     /// When the state limit is reached, stop gracefully and mark the
@@ -75,6 +81,7 @@ impl Default for SearchOptions {
             extrapolate: true,
             active_clock_reduction: true,
             exact_zone_merging: true,
+            storage: StorageKind::Flat,
             max_states: None,
             truncate_on_limit: false,
             extra_clock_constants: Vec::new(),
@@ -87,6 +94,14 @@ impl SearchOptions {
     pub fn with_order(order: SearchOrder) -> SearchOptions {
         SearchOptions {
             order,
+            ..SearchOptions::default()
+        }
+    }
+
+    /// Convenience constructor selecting a storage discipline.
+    pub fn with_storage(storage: StorageKind) -> SearchOptions {
+        SearchOptions {
+            storage,
             ..SearchOptions::default()
         }
     }
@@ -121,6 +136,19 @@ pub struct ExplorationStats {
     /// [`SearchOptions::exact_zone_merging`]); `0` when merging is disabled
     /// or the search is targeted.
     pub zones_merged: usize,
+    /// Number of computed zones discarded because the **union** of the
+    /// stored zones covers them while no single stored zone does — only the
+    /// federation store ([`StorageKind::Federation`]) can detect these; `0`
+    /// under flat storage.
+    pub zones_subsumed_by_union: usize,
+    /// Number of stored zones dropped because a newcomer includes them, or
+    /// (federation storage) because the union of their peers covers them.
+    pub zones_evicted: usize,
+    /// Net number of zones held by the passed/waiting store when the
+    /// exploration finished — the store's memory footprint, as opposed to
+    /// [`ExplorationStats::states_stored`], which (sequentially) counts
+    /// cumulative insertions.
+    pub zones_live: usize,
 }
 
 /// One step of a diagnostic trace.
@@ -203,10 +231,9 @@ impl<'s> Explorer<'s> {
 
         let mut stats = ExplorationStats::default();
         let mut nodes: Vec<Node> = Vec::new();
-        let mut passed: HashMap<DiscreteState, Vec<Dbm>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
-        let init = gen.initial_state()?;
+        let mut init = gen.initial_state()?;
         if init.zone.is_empty() || !gen.can_reach_query(&init.discrete) {
             // Inconsistent initial invariants, or no query location atom is
             // reachable at all: nothing relevant is reachable.
@@ -214,10 +241,8 @@ impl<'s> Explorer<'s> {
             stats.duration = start.elapsed();
             return Ok((None, false, stats));
         }
-        passed
-            .entry(init.discrete.clone())
-            .or_default()
-            .push(init.zone.clone());
+        let mut passed = store::new_store(self.opts.storage, init.zone.num_clocks());
+        passed.insert(&init.discrete, &mut init.zone, false);
         nodes.push(Node {
             state: init,
             parent: None,
@@ -232,6 +257,12 @@ impl<'s> Explorer<'s> {
             SearchOrder::Bfs => waiting.pop_front(),
             SearchOrder::Dfs | SearchOrder::RandomDfs => waiting.pop_back(),
         } {
+            // A queued state whose zone was since evicted or absorbed into a
+            // hull is covered by a stored zone whose own expansion subsumes
+            // it: skip it (the flat store keeps every queued state current).
+            if !passed.is_current(&nodes[idx].state.discrete, &nodes[idx].state.zone) {
+                continue;
+            }
             let state = nodes[idx].state.clone();
             stats.states_explored += 1;
             visit(&state);
@@ -255,16 +286,18 @@ impl<'s> Explorer<'s> {
                 if !gen.can_reach_query(&succ.discrete) {
                     continue;
                 }
-                let zones = passed.entry(succ.discrete.clone()).or_default();
-                if zones.iter().any(|z| z.includes(&succ.zone)) {
-                    continue;
+                match passed.insert(&succ.discrete, &mut succ.zone, merging) {
+                    Insert::Subsumed { by_union } => {
+                        if by_union {
+                            stats.zones_subsumed_by_union += 1;
+                        }
+                        continue;
+                    }
+                    Insert::Inserted { evicted, merged } => {
+                        stats.zones_evicted += evicted;
+                        stats.zones_merged += merged;
+                    }
                 }
-                // Drop stored zones now subsumed by the new one.
-                zones.retain(|z| !succ.zone.includes(z));
-                if merging {
-                    stats.zones_merged += crate::merge::merge_into_antichain(&mut succ.zone, zones);
-                }
-                zones.push(succ.zone.clone());
                 let node_idx = nodes.len();
                 nodes.push(Node {
                     state: succ,
@@ -290,6 +323,7 @@ impl<'s> Explorer<'s> {
         }
 
         stats.clocks_eliminated = gen.clocks_eliminated();
+        stats.zones_live = passed.live_zones();
         stats.duration = start.elapsed();
         let trace = found.map(|mut idx| {
             let mut rev = Vec::new();

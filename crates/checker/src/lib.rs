@@ -10,7 +10,13 @@
 //!   urgent channels (no delay while an urgent synchronization is enabled),
 //!   urgent and committed locations,
 //! * a passed/waiting list with zone-inclusion subsumption and
-//!   location-dependent ExtraLU extrapolation guarantees termination,
+//!   location-dependent ExtraLU extrapolation guarantees termination; the
+//!   storage discipline is pluggable ([`SearchOptions::storage`]): flat
+//!   per-discrete-state antichains (default) or per-discrete-state
+//!   *federations* whose union-coverage subsumption discards zones covered
+//!   by the union of the stored zones ([`StorageKind::Federation`]) — exact,
+//!   and the difference between truncation and completion on the burstiest
+//!   case-study columns,
 //! * active-clock reduction (on by default, see
 //!   [`SearchOptions::active_clock_reduction`]): clocks a static inactivity
 //!   analysis proves dead in a discrete state are reset to a canonical value
@@ -57,6 +63,7 @@
 
 mod error;
 mod state;
+mod store;
 mod target;
 mod successor;
 mod explorer;
@@ -69,6 +76,7 @@ pub use explorer::{
     ExplorationStats, Explorer, ReachReport, SearchOptions, SearchOrder, TraceStep,
 };
 pub use parallel::ParallelOptions;
+pub use store::StorageKind;
 pub use state::{DiscreteState, SymState};
 pub use successor::ActionLabel;
 pub use target::TargetSpec;

@@ -6,36 +6,38 @@
 //! paper's `pj`/`bur` columns).  This module parallelises the forward
 //! reachability loop over a pool of worker threads:
 //!
-//! * the *passed* list is sharded over a fixed number of
-//!   [`parking_lot::Mutex`]-protected hash maps keyed by discrete state, so
-//!   that inclusion subsumption remains a per-discrete-state critical section,
-//! * the *waiting* list is a [`crossbeam::deque::Injector`] shared by all
-//!   workers,
-//! * termination uses an in-flight counter: every state pushed to the queue
+//! * the *passed* list is a lock-striped [`crate::store::ShardedStore`]
+//!   whose per-shard backend follows
+//!   [`SearchOptions::storage`](crate::SearchOptions::storage) (flat
+//!   antichains or union-subsuming federations), so inclusion subsumption
+//!   remains a per-discrete-state critical section without a global mutex,
+//! * the *waiting* work is distributed over per-worker
+//!   [`crossbeam::deque::Worker`] deques: each worker expands states from
+//!   its own deque and steals from its peers (or the seed
+//!   [`crossbeam::deque::Injector`]) only when it runs dry,
+//! * termination uses an in-flight counter: every state pushed to a deque
 //!   increments it and it is decremented only after the state's successors
-//!   have been pushed, so the counter reaching zero implies both an empty
-//!   queue and idle workers.
+//!   have been pushed, so the counter reaching zero implies both empty
+//!   deques and idle workers.
 //!
 //! The parallel variants return the same verdicts and the same suprema as the
-//! sequential ones (checked by the tests below); the exact number of *stored*
-//! states may differ slightly because subsumption depends on the order in
-//! which zones are discovered.  Diagnostic traces are not reconstructed in
-//! parallel mode.
+//! sequential ones (checked by the tests below and by
+//! `tests/parallel_consistency.rs`); the exact number of *stored* states may
+//! differ slightly because subsumption depends on the order in which zones
+//! are discovered.  Diagnostic traces are not reconstructed in parallel mode.
 
 use crate::error::CheckError;
 use crate::explorer::{ExplorationStats, Explorer, ReachReport};
-use crate::state::{DiscreteState, SymState};
+use crate::state::SymState;
+use crate::store::{Insert, ShardedStore};
 use crate::successor::SuccessorGen;
 use crate::target::TargetSpec;
 use crate::wcrt::SupReport;
-use crossbeam::deque::{Injector, Steal};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
-use tempo_dbm::{Bound, Dbm};
+use tempo_dbm::Bound;
 use tempo_ta::ClockId;
 
 /// Options controlling a parallel exploration.
@@ -77,69 +79,6 @@ impl ParallelOptions {
         } else {
             (workers * 4).max(16)
         }
-    }
-}
-
-/// The sharded passed list.  Each shard owns a map from discrete state to the
-/// antichain (w.r.t. zone inclusion) of zones stored for it.
-struct SharedPassed {
-    shards: Vec<Mutex<HashMap<DiscreteState, Vec<Dbm>>>>,
-    stored: AtomicUsize,
-    merged: AtomicUsize,
-}
-
-impl SharedPassed {
-    fn new(shards: usize) -> SharedPassed {
-        SharedPassed {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            stored: AtomicUsize::new(0),
-            merged: AtomicUsize::new(0),
-        }
-    }
-
-    fn shard_of(&self, discrete: &DiscreteState) -> usize {
-        let mut h = DefaultHasher::new();
-        discrete.hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
-    }
-
-    /// Inserts the state unless an already-stored zone of the same discrete
-    /// state includes it.  Returns `None` when the state was subsumed,
-    /// `Some(None)` when it was stored as-is (the caller expands its own
-    /// zone, avoiding a copy on the common path), and `Some(Some(hull))`
-    /// when `merge` absorbed stored zones into an exact convex union that
-    /// must be expanded instead.
-    fn insert(&self, state: &SymState, merge: bool) -> Option<Option<Dbm>> {
-        let mut map = self.shards[self.shard_of(&state.discrete)].lock();
-        let zones = map.entry(state.discrete.clone()).or_default();
-        if zones.iter().any(|z| z.includes(&state.zone)) {
-            return None;
-        }
-        let mut removed = {
-            let before = zones.len();
-            zones.retain(|z| !state.zone.includes(z));
-            before - zones.len()
-        };
-        let mut zone = state.zone.clone();
-        let mut merged = 0;
-        if merge {
-            merged = crate::merge::merge_into_antichain(&mut zone, zones);
-            removed += merged;
-            self.merged.fetch_add(merged, Ordering::Relaxed);
-        }
-        let result = if merged > 0 { Some(zone.clone()) } else { None };
-        zones.push(zone);
-        // `removed` zones leave the store, one enters: net change 1 - removed.
-        if removed > 0 {
-            self.stored.fetch_sub(removed - 1, Ordering::Relaxed);
-        } else {
-            self.stored.fetch_add(1, Ordering::Relaxed);
-        }
-        Some(result)
-    }
-
-    fn stored(&self) -> usize {
-        self.stored.load(Ordering::Relaxed)
     }
 }
 
@@ -186,8 +125,12 @@ impl<'s> Explorer<'s> {
             return Ok((false, stats));
         }
 
-        let passed = SharedPassed::new(shards);
+        let passed = ShardedStore::new(opts.storage, shards, init.zone.num_clocks());
+        // The injector only seeds the exploration; successors go to the
+        // per-worker deques and travel between workers by stealing.
         let queue: Injector<SymState> = Injector::new();
+        let locals: Vec<Worker<SymState>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<SymState>> = locals.iter().map(|w| w.stealer()).collect();
         let pending = AtomicUsize::new(0);
         let peak_pending = AtomicUsize::new(1);
         let stop = AtomicBool::new(false);
@@ -195,7 +138,8 @@ impl<'s> Explorer<'s> {
         let truncated = AtomicBool::new(false);
         let limit_exceeded = AtomicBool::new(false);
 
-        passed.insert(&init, false);
+        let mut init = init;
+        passed.insert(&init.discrete, &mut init.zone, false);
         pending.fetch_add(1, Ordering::SeqCst);
         queue.push(init);
 
@@ -208,8 +152,9 @@ impl<'s> Explorer<'s> {
 
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            for (index, local) in locals.into_iter().enumerate() {
                 let queue = &queue;
+                let stealers = &stealers;
                 let passed = &passed;
                 let pending = &pending;
                 let peak_pending = &peak_pending;
@@ -236,10 +181,32 @@ impl<'s> Explorer<'s> {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        let state = match queue.steal() {
-                            Steal::Success(s) => s,
-                            Steal::Retry => continue,
-                            Steal::Empty => {
+                        // Own deque first, then the seed injector, then steal
+                        // from peers (round-robin, starting past ourselves).
+                        let next = local.pop().or_else(|| {
+                            let mut contended = false;
+                            match queue.steal() {
+                                Steal::Success(s) => return Some(s),
+                                Steal::Retry => contended = true,
+                                Steal::Empty => {}
+                            }
+                            for k in 1..stealers.len() {
+                                match stealers[(index + k) % stealers.len()].steal() {
+                                    Steal::Success(s) => return Some(s),
+                                    Steal::Retry => contended = true,
+                                    Steal::Empty => {}
+                                }
+                            }
+                            if contended {
+                                // Lost a race; pretend the deques were busy so
+                                // the caller retries instead of terminating.
+                                std::thread::yield_now();
+                            }
+                            None
+                        });
+                        let state = match next {
+                            Some(s) => s,
+                            None => {
                                 if pending.load(Ordering::SeqCst) == 0 {
                                     break;
                                 }
@@ -247,6 +214,13 @@ impl<'s> Explorer<'s> {
                                 continue;
                             }
                         };
+                        // Skip states whose zone was evicted or absorbed
+                        // since they were queued: a stored zone covers them,
+                        // and its own expansion subsumes theirs.
+                        if !passed.is_current(&state.discrete, &state.zone) {
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                            continue;
+                        }
                         outcome.explored += 1;
                         visit(&state);
                         if let Some(t) = target {
@@ -278,13 +252,13 @@ impl<'s> Explorer<'s> {
                                     if !gen.can_reach_query(&succ.discrete) {
                                         continue;
                                     }
-                                    match passed.insert(&succ, merging) {
-                                        Some(Some(hull)) => succ.zone = hull,
-                                        Some(None) => {}
-                                        None => continue,
+                                    match passed.insert(&succ.discrete, &mut succ.zone, merging) {
+                                        // Aggregate counters live in the store.
+                                        Insert::Subsumed { .. } => continue,
+                                        Insert::Inserted { .. } => {}
                                     }
                                     if let Some(limit) = max_states {
-                                        if passed.stored() > limit {
+                                        if passed.live_zones() > limit {
                                             if truncate_on_limit {
                                                 truncated.store(true, Ordering::SeqCst);
                                             } else {
@@ -295,7 +269,7 @@ impl<'s> Explorer<'s> {
                                     }
                                     let now = pending.fetch_add(1, Ordering::SeqCst) + 1;
                                     peak_pending.fetch_max(now, Ordering::Relaxed);
-                                    queue.push(succ);
+                                    local.push(succ);
                                 }
                             }
                             Err(e) => {
@@ -317,9 +291,12 @@ impl<'s> Explorer<'s> {
             stats.transitions += outcome.transitions;
             stats.clocks_eliminated += outcome.eliminated;
         }
-        stats.states_stored = passed.stored();
+        stats.states_stored = passed.live_zones();
+        stats.zones_live = passed.live_zones();
         stats.truncated = truncated.load(Ordering::SeqCst);
-        stats.zones_merged = passed.merged.load(Ordering::Relaxed);
+        stats.zones_merged = passed.zones_merged();
+        stats.zones_evicted = passed.zones_evicted();
+        stats.zones_subsumed_by_union = passed.zones_subsumed_by_union();
         stats.peak_waiting = peak_pending.load(Ordering::Relaxed);
         stats.duration = start.elapsed();
 
@@ -428,6 +405,22 @@ impl<'s> Explorer<'s> {
             cap_hit,
             cap,
             stats,
+        })
+    }
+
+    /// Parallel variant of [`Explorer::sup_clock_at_auto`]: doubles the cap
+    /// (up to `max_cap`, same policy as the sequential query) until the
+    /// supremum no longer touches it.
+    pub fn par_sup_clock_at_auto(
+        &self,
+        target: &TargetSpec,
+        clock: ClockId,
+        initial_cap: i64,
+        max_cap: i64,
+        par: &ParallelOptions,
+    ) -> Result<SupReport, CheckError> {
+        crate::wcrt::auto_cap(initial_cap, max_cap, |cap| {
+            self.par_sup_clock_at(target, clock, cap, par)
         })
     }
 }

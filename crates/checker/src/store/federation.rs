@@ -1,0 +1,93 @@
+//! The federation store: one [`Federation`] per discrete state, with
+//! union-coverage subsumption.
+//!
+//! A newcomer zone is rejected when the **union** of the stored zones covers
+//! it — including when no single stored zone does — and stored zones strictly
+//! included in the newcomer are evicted.  On top of that, every time a
+//! discrete state's federation outgrows an adaptive threshold it is
+//! [`Federation::reduce`]d: members covered by the union of their peers are
+//! dropped, which keeps the coverage test sharp (bigger effective zones)
+//! and the per-insert subtraction cost bounded.  All of it is exact — no
+//! valuation is ever lost — so verdicts, suprema and WCRTs are preserved.
+
+use super::{Insert, StateStore};
+use crate::state::DiscreteState;
+use std::collections::HashMap;
+use tempo_dbm::{Dbm, Federation, ZoneCoverage};
+
+/// Budget of *failed* exact-merge attempts per insertion, matching the flat
+/// store's [`crate::merge`] discipline.
+const MERGE_ATTEMPT_BUDGET: usize = 64;
+
+/// A federation never reduced before it holds this many zones.
+const MIN_REDUCE_THRESHOLD: usize = 8;
+
+struct Entry {
+    fed: Federation,
+    /// Run [`Federation::reduce`] when the federation reaches this size; the
+    /// threshold doubles after each reduction so the amortized cost per
+    /// insert stays constant.
+    next_reduce: usize,
+}
+
+/// See the [module documentation](self).
+pub(crate) struct FederationStore {
+    map: HashMap<DiscreteState, Entry>,
+    num_clocks: usize,
+    live: usize,
+}
+
+impl FederationStore {
+    pub(crate) fn new(num_clocks: usize) -> FederationStore {
+        FederationStore {
+            map: HashMap::new(),
+            num_clocks,
+            live: 0,
+        }
+    }
+}
+
+impl StateStore for FederationStore {
+    fn insert(&mut self, discrete: &DiscreteState, zone: &mut Dbm, merge: bool) -> Insert {
+        let entry = self
+            .map
+            .entry(discrete.clone())
+            .or_insert_with(|| Entry {
+                fed: Federation::empty(self.num_clocks),
+                next_reduce: MIN_REDUCE_THRESHOLD,
+            });
+        match entry.fed.coverage_of(zone) {
+            ZoneCoverage::Member => return Insert::Subsumed { by_union: false },
+            ZoneCoverage::Union => return Insert::Subsumed { by_union: true },
+            ZoneCoverage::NotCovered => {}
+        }
+        let merged = if merge {
+            entry.fed.absorb_convex(zone, MERGE_ATTEMPT_BUDGET)
+        } else {
+            0
+        };
+        let before = entry.fed.size();
+        entry.fed.add(zone.clone());
+        // `add` pushes the newcomer and evicts stored zones it strictly
+        // includes: net eviction count from the size delta.
+        let mut evicted = before + 1 - entry.fed.size();
+        if entry.fed.size() >= entry.next_reduce {
+            evicted += entry.fed.reduce();
+            entry.next_reduce = (entry.fed.size() * 2).max(MIN_REDUCE_THRESHOLD);
+        }
+        self.live = self.live + 1 - evicted - merged;
+        Insert::Inserted { evicted, merged }
+    }
+
+    fn is_current(&self, discrete: &DiscreteState, zone: &Dbm) -> bool {
+        // A zone that is no longer a member was evicted or absorbed into a
+        // hull: some stored zone covers it, so its expansion is redundant.
+        self.map
+            .get(discrete)
+            .is_some_and(|e| e.fed.iter().any(|z| z == zone))
+    }
+
+    fn live_zones(&self) -> usize {
+        self.live
+    }
+}

@@ -1,0 +1,54 @@
+//! The flat hash store: per-discrete-state zone antichains with single-zone
+//! inclusion subsumption — the classic UPPAAL passed-list discipline and the
+//! default [`StorageKind`](super::StorageKind).
+
+use super::{Insert, StateStore};
+use crate::state::DiscreteState;
+use std::collections::HashMap;
+use tempo_dbm::Dbm;
+
+/// See the [module documentation](self).
+pub(crate) struct FlatStore {
+    map: HashMap<DiscreteState, Vec<Dbm>>,
+    live: usize,
+}
+
+impl FlatStore {
+    pub(crate) fn new() -> FlatStore {
+        FlatStore {
+            map: HashMap::new(),
+            live: 0,
+        }
+    }
+}
+
+impl StateStore for FlatStore {
+    fn insert(&mut self, discrete: &DiscreteState, zone: &mut Dbm, merge: bool) -> Insert {
+        let zones = self.map.entry(discrete.clone()).or_default();
+        if zones.iter().any(|z| z.includes(zone)) {
+            return Insert::Subsumed { by_union: false };
+        }
+        // Drop stored zones now subsumed by the new one.
+        let before = zones.len();
+        zones.retain(|z| !zone.includes(z));
+        let evicted = before - zones.len();
+        let merged = if merge {
+            crate::merge::merge_into_antichain(zone, zones)
+        } else {
+            0
+        };
+        zones.push(zone.clone());
+        self.live = self.live + 1 - evicted - merged;
+        Insert::Inserted { evicted, merged }
+    }
+
+    fn is_current(&self, _discrete: &DiscreteState, _zone: &Dbm) -> bool {
+        // The flat store reproduces the pre-subsystem explorer byte for byte:
+        // every queued state is expanded, even if its zone was later evicted.
+        true
+    }
+
+    fn live_zones(&self) -> usize {
+        self.live
+    }
+}

@@ -49,6 +49,27 @@ impl SupReport {
     }
 }
 
+/// The shared cap-doubling policy of the `*_auto` supremum queries
+/// (sequential and parallel): call `attempt` with growing caps until the
+/// supremum no longer touches the cap or `max_cap` is reached.
+pub(crate) fn auto_cap<F>(
+    initial_cap: i64,
+    max_cap: i64,
+    mut attempt: F,
+) -> Result<SupReport, CheckError>
+where
+    F: FnMut(i64) -> Result<SupReport, CheckError>,
+{
+    let mut cap = initial_cap.max(1);
+    loop {
+        let report = attempt(cap)?;
+        if !report.cap_hit || cap >= max_cap {
+            return Ok(report);
+        }
+        cap = (cap * 2).min(max_cap);
+    }
+}
+
 /// Result of [`Explorer::binary_search_wcrt`].
 #[derive(Clone, Debug)]
 pub struct BinarySearchReport {
@@ -125,14 +146,9 @@ impl<'s> Explorer<'s> {
         initial_cap: i64,
         max_cap: i64,
     ) -> Result<SupReport, CheckError> {
-        let mut cap = initial_cap.max(1);
-        loop {
-            let report = self.sup_clock_at(target, clock, cap)?;
-            if !report.cap_hit || cap >= max_cap {
-                return Ok(report);
-            }
-            cap = (cap * 2).min(max_cap);
-        }
+        auto_cap(initial_cap, max_cap, |cap| {
+            self.sup_clock_at(target, clock, cap)
+        })
     }
 
     /// The paper's Property 1 procedure: binary search for the smallest

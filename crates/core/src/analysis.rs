@@ -5,7 +5,9 @@ use crate::generator::{generate, GeneratedModel, GeneratorOptions};
 use crate::model::{ArchitectureModel, ModelError, Requirement};
 use crate::time::TimeValue;
 use std::fmt;
-use tempo_check::{CheckError, ExplorationStats, Explorer, SearchOptions, TargetSpec};
+use tempo_check::{
+    CheckError, ExplorationStats, Explorer, ParallelOptions, SearchOptions, TargetSpec,
+};
 
 /// Errors of the analysis layer.
 #[derive(Debug)]
@@ -70,8 +72,13 @@ impl From<CheckError> for ArchError {
 pub struct AnalysisConfig {
     /// Generator options (queue capacities).
     pub generator: GeneratorOptions,
-    /// Model-checker search options.
+    /// Model-checker search options (including the passed-list storage
+    /// discipline, [`tempo_check::SearchOptions::storage`]).
     pub search: SearchOptions,
+    /// When set, explorations run on the multi-threaded checker with these
+    /// options (sharded passed list, per-worker work-stealing deques); the
+    /// verdicts, WCRTs and bounds are identical to the sequential analysis.
+    pub parallel: Option<ParallelOptions>,
     /// Initial extrapolation cap for the observer clock, as a multiple of the
     /// requirement deadline.
     pub initial_cap_factor: i64,
@@ -85,6 +92,7 @@ impl Default for AnalysisConfig {
         AnalysisConfig {
             generator: GeneratorOptions::default(),
             search: SearchOptions::default(),
+            parallel: None,
             initial_cap_factor: 2,
             max_cap_factor: 64,
         }
@@ -179,7 +187,12 @@ pub fn analyze_generated(
     let deadline_ticks = generated.quantizer.to_ticks(req.deadline).max(1);
     let initial_cap = deadline_ticks.saturating_mul(cfg.initial_cap_factor.max(1));
     let max_cap = deadline_ticks.saturating_mul(cfg.max_cap_factor.max(cfg.initial_cap_factor));
-    let report = explorer.sup_clock_at_auto(&target, observer.clock, initial_cap, max_cap)?;
+    let report = match &cfg.parallel {
+        Some(par) => {
+            explorer.par_sup_clock_at_auto(&target, observer.clock, initial_cap, max_cap, par)?
+        }
+        None => explorer.sup_clock_at_auto(&target, observer.clock, initial_cap, max_cap)?,
+    };
 
     let (wcrt, lower_bound) = if report.stats.truncated {
         // The exploration was cut short (bounded "structured testing" in the
@@ -262,7 +275,11 @@ pub fn check_queues_bounded(
 ) -> Result<(), ArchError> {
     let generated = generate(model, None, &cfg.generator)?;
     let explorer = Explorer::new(&generated.system, cfg.search.clone())?;
-    match explorer.explore(|_| {}) {
+    let outcome = match &cfg.parallel {
+        Some(par) => explorer.par_explore(&|_| {}, par),
+        None => explorer.explore(|_| {}),
+    };
+    match outcome {
         Ok(_) => Ok(()),
         Err(e) => Err(ArchError::from(e)),
     }

@@ -73,6 +73,7 @@ pub use model::{
     ArchitectureModel, Bus, BusArbitration, BusId, EventModel, MeasurePoint, ModelError,
     Processor, ProcessorId, Requirement, Scenario, ScenarioId, SchedulingPolicy, Step,
 };
+pub use tempo_check::{ParallelOptions, SearchOptions, StorageKind};
 pub use time::{Quantizer, TimeValue};
 pub use transform::fragment_transfers;
 
@@ -94,4 +95,5 @@ pub mod prelude {
     pub use crate::explore::{Sweep, SweepOutcome};
     pub use crate::time::TimeValue;
     pub use crate::transform::fragment_transfers;
+    pub use tempo_check::{ParallelOptions, SearchOptions, StorageKind};
 }

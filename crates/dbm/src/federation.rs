@@ -7,6 +7,20 @@
 use crate::{Clock, Constraint, Dbm, Relation};
 use std::fmt;
 
+/// How a candidate zone is covered by a federation, see
+/// [`Federation::coverage_of`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZoneCoverage {
+    /// The zone contains valuations outside the federation.
+    NotCovered,
+    /// A single member zone includes the candidate (the cheap test convex
+    /// passed lists already perform).
+    Member,
+    /// No single member includes the candidate, but the *union* of the
+    /// members does — the case only federation storage can detect.
+    Union,
+}
+
 /// A finite union of zones (possibly empty) over the same set of clocks.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Federation {
@@ -82,14 +96,139 @@ impl Federation {
         self.zones.iter().any(|z| z.contains_point(valuation))
     }
 
-    /// `true` iff the given zone is included in some single member zone.
-    ///
-    /// This is the (incomplete but sound) inclusion test used by zone-based
-    /// passed lists: a zone already covered by one stored zone need not be
-    /// explored again.
-    pub fn includes_zone(&self, zone: &Dbm) -> bool {
-        self.zones.iter().any(|z| z.includes(zone))
+    /// Pieces remaining when the members of this federation are successively
+    /// subtracted from `zone`; stops (returning the non-empty rest) as soon
+    /// as the piece count exceeds `piece_cap`, which keeps the worst case of
+    /// the coverage test bounded on hot paths.  An empty result means `zone`
+    /// is covered by the union of the members.
+    fn remainder_of(&self, zone: &Dbm, piece_cap: usize) -> Vec<Dbm> {
+        let mut remainder = vec![zone.clone()];
+        for member in &self.zones {
+            let mut next = Vec::new();
+            for piece in &remainder {
+                next.extend(piece.subtract(member));
+                // Consult the cap per piece, not per member: one member pass
+                // can multiply the piece count by O(dim²), and the cap exists
+                // to bound exactly that hot-path blow-up.
+                if next.len() > piece_cap {
+                    return next;
+                }
+            }
+            remainder = next;
+            if remainder.is_empty() {
+                break;
+            }
+        }
+        remainder
     }
+
+    /// Classifies how `zone` is covered by the federation: by a single member
+    /// zone (the cheap convex test), only by the *union* of the members
+    /// (detected with zone subtraction), or not at all.
+    ///
+    /// The union test is exact up to an internal piece budget: coverage by
+    /// very fragmented unions may conservatively be reported as
+    /// [`ZoneCoverage::NotCovered`], which is sound for passed-list use (the
+    /// zone is then explored rather than discarded).  The empty zone is
+    /// covered by any federation.
+    pub fn coverage_of(&self, zone: &Dbm) -> ZoneCoverage {
+        if zone.is_empty() {
+            return ZoneCoverage::Member;
+        }
+        // Fast path: any single member includes the candidate.
+        if self.zones.iter().any(|z| z.includes(zone)) {
+            return ZoneCoverage::Member;
+        }
+        if self.zones.len() < 2 {
+            return ZoneCoverage::NotCovered;
+        }
+        const PIECE_CAP: usize = 512;
+        if self.remainder_of(zone, PIECE_CAP).is_empty() {
+            ZoneCoverage::Union
+        } else {
+            ZoneCoverage::NotCovered
+        }
+    }
+
+    /// `true` iff the given zone is included in the **union** of the member
+    /// zones (not necessarily in any single one), computed by subtracting the
+    /// members from the candidate, with the any-single-member inclusion test
+    /// as a fast path.
+    ///
+    /// This is the coverage test behind federation-based passed lists: a zone
+    /// covered by the union of the stored zones need not be explored again,
+    /// which convex single-zone storage can never detect.
+    pub fn includes_zone(&self, zone: &Dbm) -> bool {
+        !matches!(self.coverage_of(zone), ZoneCoverage::NotCovered)
+    }
+
+    /// The set difference `federation \ zone` as a new federation: every
+    /// member is split around `zone` and the non-empty pieces are collected
+    /// (with the usual inclusion reduction of [`Federation::add`]).
+    pub fn subtract_zone(&self, zone: &Dbm) -> Federation {
+        let mut out = Federation::empty(self.num_clocks);
+        if zone.is_empty() {
+            for z in &self.zones {
+                out.add(z.clone());
+            }
+            return out;
+        }
+        for z in &self.zones {
+            for piece in z.subtract(zone) {
+                out.add(piece);
+            }
+        }
+        out
+    }
+
+    /// Drops every member zone that is covered by the union of the *other*
+    /// members (one pass, oldest member first) and returns the number of
+    /// zones dropped.  The denoted set is preserved exactly: a zone is only removed
+    /// when the remaining members still cover it, so the reduced federation
+    /// describes the same valuations with fewer (never more) zones.
+    pub fn reduce(&mut self) -> usize {
+        let mut dropped = 0;
+        let mut i = 0;
+        while i < self.zones.len() {
+            if self.zones.len() < 2 {
+                break;
+            }
+            let candidate = self.zones.remove(i);
+            if matches!(self.coverage_of(&candidate), ZoneCoverage::NotCovered) {
+                self.zones.insert(i, candidate);
+                i += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Merges `zone` with every member it forms an *exact* convex union with
+    /// ([`Dbm::try_merge`], newest-first, with a budget of `failure_budget`
+    /// failed attempts refreshed on every success so cascades complete),
+    /// removing the absorbed members and growing `zone` to the common hull.
+    /// Returns the number of members absorbed; the caller is expected to
+    /// [`Federation::add`] the final `zone` afterwards.
+    pub fn absorb_convex(&mut self, zone: &mut Dbm, failure_budget: usize) -> usize {
+        let mut absorbed = 0;
+        let mut budget = failure_budget;
+        let mut i = self.zones.len();
+        while i > 0 && budget > 0 {
+            i -= 1;
+            if let Some(hull) = zone.try_merge(&self.zones[i]) {
+                *zone = hull;
+                self.zones.swap_remove(i);
+                absorbed += 1;
+                budget = failure_budget;
+                i = self.zones.len();
+            } else {
+                budget -= 1;
+            }
+        }
+        absorbed
+    }
+
 
     /// Intersects every member zone with a constraint, dropping emptied zones.
     pub fn constrain(&mut self, c: &Constraint) -> &mut Self {
@@ -195,14 +334,78 @@ mod tests {
     }
 
     #[test]
-    fn includes_zone_is_per_member() {
+    fn includes_zone_distinguishes_member_union_and_uncovered() {
+        use crate::ZoneCoverage;
         let mut f = Federation::empty(1);
         f.add(zone_between(0, 2));
         f.add(zone_between(5, 7));
+        // Covered by a single member: the fast path.
+        assert_eq!(f.coverage_of(&zone_between(1, 2)), ZoneCoverage::Member);
         assert!(f.includes_zone(&zone_between(1, 2)));
-        // The union covers [0,2] ∪ [5,7] but no single zone covers [1,6].
+        // [1,6] pokes into the gap (2,5): not covered even by the union.
+        assert_eq!(f.coverage_of(&zone_between(1, 6)), ZoneCoverage::NotCovered);
         assert!(!f.includes_zone(&zone_between(1, 6)));
+        // Overlapping members [0,4] ∪ [3,7]: [1,6] is covered only by the
+        // union — the case convex single-zone subsumption can never detect.
+        let mut g = Federation::empty(1);
+        g.add(zone_between(0, 4));
+        g.add(zone_between(3, 7));
+        assert_eq!(g.coverage_of(&zone_between(1, 6)), ZoneCoverage::Union);
+        assert!(g.includes_zone(&zone_between(1, 6)));
+        // The empty zone is covered by anything.
+        assert!(g.includes_zone(&Dbm::empty(1)));
     }
+
+    #[test]
+    fn subtract_zone_is_set_difference() {
+        let mut f = Federation::empty(1);
+        f.add(zone_between(0, 4));
+        f.add(zone_between(6, 9));
+        let d = f.subtract_zone(&zone_between(3, 7));
+        for v in 0..=10i64 {
+            let expected = f.contains_point(&[0, v]) && !(3..=7).contains(&v);
+            assert_eq!(d.contains_point(&[0, v]), expected, "point {v}");
+        }
+        // Subtracting the empty zone is the identity on the denoted set.
+        let id = f.subtract_zone(&Dbm::empty(1));
+        for v in 0..=10i64 {
+            assert_eq!(id.contains_point(&[0, v]), f.contains_point(&[0, v]));
+        }
+    }
+
+    #[test]
+    fn reduce_drops_union_covered_members_only() {
+        let mut f = Federation::empty(1);
+        f.add(zone_between(0, 4));
+        f.add(zone_between(3, 7));
+        // [2,6] is covered by [0,4] ∪ [3,7] but by neither alone, so plain
+        // `add` keeps it; `reduce` drops it again.
+        assert!(f.add(zone_between(2, 6)));
+        assert_eq!(f.size(), 3);
+        assert_eq!(f.reduce(), 1);
+        assert_eq!(f.size(), 2);
+        for v in 0..=8i64 {
+            assert_eq!(f.contains_point(&[0, v]), (0..=7).contains(&v), "point {v}");
+        }
+        // Nothing else is droppable: a second reduce is a no-op.
+        assert_eq!(f.reduce(), 0);
+        assert_eq!(f.size(), 2);
+    }
+
+    #[test]
+    fn absorb_convex_cascades_and_respects_exactness() {
+        let mut f = Federation::empty(1);
+        f.add(zone_between(0, 1));
+        f.add(zone_between(1, 2));
+        f.add(zone_between(5, 7));
+        let mut zone = zone_between(2, 3);
+        // [2,3] bridges [0,1]+[1,2] into [0,3]; [5,7] stays (gap).
+        let absorbed = f.absorb_convex(&mut zone, 8);
+        assert_eq!(absorbed, 2);
+        assert_eq!(f.size(), 1);
+        assert_eq!(zone.relation(&zone_between(0, 3)), Relation::Equal);
+    }
+
 
     #[test]
     fn constrain_drops_emptied_members() {

@@ -56,4 +56,4 @@ pub use bound::Bound;
 pub use clock::{Clock, ClockSet};
 pub use constraint::{Constraint, RelOp};
 pub use matrix::{Dbm, Relation};
-pub use federation::Federation;
+pub use federation::{Federation, ZoneCoverage};

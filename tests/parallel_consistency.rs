@@ -3,8 +3,15 @@
 //! `crates/checker/tests/fischer.rs`) — safety of the correct protocol,
 //! reachability of the critical sections, and the mutex violation of the
 //! weakened (non-strict guard) variant.
+//!
+//! The parallel checker distributes work over per-worker work-stealing
+//! deques and a sharded passed list; both storage disciplines
+//! ([`StorageKind::Flat`] and [`StorageKind::Federation`]) are swept, so any
+//! scheduling- or storage-dependent divergence (lost states, premature
+//! termination, unsound subsumption) shows up as a verdict or supremum
+//! mismatch here.
 
-use tempo::check::{Explorer, ParallelOptions, SearchOptions, TargetSpec};
+use tempo::check::{Explorer, ParallelOptions, SearchOptions, StorageKind, TargetSpec};
 use tempo::ta::{ClockRef, System};
 use tempo_bench::fischer;
 
@@ -45,19 +52,21 @@ fn verdict_matrix(sys: &System, n: usize) -> Vec<TargetSpec> {
 fn sequential_and_parallel_checkers_agree_on_fischer() {
     for (n, strict) in [(2, true), (3, true), (2, false)] {
         let sys = fischer(n, strict);
-        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
-        for (t, target) in verdict_matrix(&sys, n).iter().enumerate() {
-            let seq = ex.check_reachable(target).unwrap().reachable;
-            for workers in [1, 2, 4] {
-                let par = ex
-                    .par_check_reachable(target, &ParallelOptions::with_workers(workers))
-                    .unwrap()
-                    .reachable;
-                assert_eq!(
-                    seq, par,
-                    "n={n} strict={strict} target#{t} workers={workers}: \
-                     sequential says {seq}, parallel says {par}"
-                );
+        for storage in [StorageKind::Flat, StorageKind::Federation] {
+            let ex = Explorer::new(&sys, SearchOptions::with_storage(storage)).unwrap();
+            for (t, target) in verdict_matrix(&sys, n).iter().enumerate() {
+                let seq = ex.check_reachable(target).unwrap().reachable;
+                for workers in [1, 2, 4] {
+                    let par = ex
+                        .par_check_reachable(target, &ParallelOptions::with_workers(workers))
+                        .unwrap()
+                        .reachable;
+                    assert_eq!(
+                        seq, par,
+                        "n={n} strict={strict} storage={storage:?} target#{t} \
+                         workers={workers}: sequential says {seq}, parallel says {par}"
+                    );
+                }
             }
         }
     }
@@ -71,20 +80,22 @@ fn sequential_and_parallel_suprema_agree_on_fischer() {
     // the invariant `x <= K` caps the process clock, so sup = K.
     for n in [2usize, 3] {
         let sys = fischer(n, true);
-        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
-        let x0 = sys.clock_by_name("x0").unwrap();
-        let req = TargetSpec::location(&sys, "P1", "req").unwrap();
-        let seq = ex.sup_clock_at(&req, x0, 1_000).unwrap();
-        assert_eq!(seq.exact_value(), Some(K));
-        for workers in [1, 2, 4] {
-            let par = ex
-                .par_sup_clock_at(&req, x0, 1_000, &ParallelOptions::with_workers(workers))
-                .unwrap();
-            assert_eq!(
-                par.exact_value(),
-                seq.exact_value(),
-                "n={n} workers={workers}"
-            );
+        for storage in [StorageKind::Flat, StorageKind::Federation] {
+            let ex = Explorer::new(&sys, SearchOptions::with_storage(storage)).unwrap();
+            let x0 = sys.clock_by_name("x0").unwrap();
+            let req = TargetSpec::location(&sys, "P1", "req").unwrap();
+            let seq = ex.sup_clock_at(&req, x0, 1_000).unwrap();
+            assert_eq!(seq.exact_value(), Some(K), "storage={storage:?}");
+            for workers in [1, 2, 4] {
+                let par = ex
+                    .par_sup_clock_at(&req, x0, 1_000, &ParallelOptions::with_workers(workers))
+                    .unwrap();
+                assert_eq!(
+                    par.exact_value(),
+                    seq.exact_value(),
+                    "n={n} storage={storage:?} workers={workers}"
+                );
+            }
         }
     }
 }

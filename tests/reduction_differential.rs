@@ -1,8 +1,8 @@
-//! Differential test harness for the active-clock reduction.
+//! Differential test harness for the exact state-collapse machinery.
 //!
-//! The reduction (`SearchOptions::active_clock_reduction`, on by default)
-//! resets clocks that the static inactivity analysis proves dead to a
-//! canonical value before states are stored.  It is *claimed* to be exact —
+//! The active-clock reduction (`SearchOptions::active_clock_reduction`, on by
+//! default) resets clocks that the static inactivity analysis proves dead to
+//! a canonical value before states are stored.  It is *claimed* to be exact —
 //! verdict-, supremum- and WCRT-preserving — and this harness is the proof
 //! obligation: for a corpus of pseudo-randomly generated architectures plus
 //! the Fischer, TDMA and burst fixtures, every analysis is run twice, with
@@ -10,6 +10,13 @@
 //! counts, on the other hand, must show the reduction actually firing (fewer
 //! or equally many stored states, a non-zero elimination count) — a reduction
 //! that never fires would pass any differential check vacuously.
+//!
+//! Since PR 4 the same obligation covers the state-*storage* subsystem
+//! (`SearchOptions::storage`): the flat antichain store, the federation store
+//! with union-coverage subsumption, and the sharded concurrent store of the
+//! parallel checker must agree on every WCRT, lower bound, deadline verdict
+//! and clock supremum across the whole corpus and all fixtures (see
+//! `storage_backends_agree_*` below).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,6 +32,68 @@ fn cfg2(reduction: bool, merging: bool) -> AnalysisConfig {
         },
         ..AnalysisConfig::default()
     }
+}
+
+/// Analysis configuration for one of the three storage backends: flat
+/// sequential, federation sequential, or sharded (parallel checker, with the
+/// per-shard backend following `storage`).
+fn storage_cfg(storage: StorageKind, sharded: bool) -> AnalysisConfig {
+    AnalysisConfig {
+        search: SearchOptions {
+            storage,
+            ..SearchOptions::default()
+        },
+        parallel: sharded.then(|| ParallelOptions::with_workers(4)),
+        ..AnalysisConfig::default()
+    }
+}
+
+/// Every storage backend the differential harness compares.
+fn storage_matrix() -> Vec<(&'static str, AnalysisConfig)> {
+    vec![
+        ("flat", storage_cfg(StorageKind::Flat, false)),
+        ("federation", storage_cfg(StorageKind::Federation, false)),
+        ("sharded-flat", storage_cfg(StorageKind::Flat, true)),
+        ("sharded-federation", storage_cfg(StorageKind::Federation, true)),
+    ]
+}
+
+/// Asserts that all storage backends agree with the flat baseline on
+/// everything a user can observe for `requirement`, and returns the flat and
+/// federation stored-state counts.
+fn assert_storage_backends_match(model: &ArchitectureModel, requirement: &str) -> (usize, usize) {
+    let mut baseline: Option<WcrtReport> = None;
+    let mut counts = (0usize, 0usize);
+    for (label, cfg) in storage_matrix() {
+        let report = analyze_requirement(model, requirement, &cfg)
+            .unwrap_or_else(|e| panic!("{}/{requirement} with {label}: {e}", model.name));
+        match label {
+            "flat" => counts.0 = report.stats.states_stored,
+            "federation" => counts.1 = report.stats.states_stored,
+            _ => {}
+        }
+        match &baseline {
+            None => baseline = Some(report),
+            Some(base) => {
+                assert_eq!(
+                    base.wcrt, report.wcrt,
+                    "{}/{requirement}: WCRT differs between flat and {label}",
+                    model.name
+                );
+                assert_eq!(
+                    base.lower_bound, report.lower_bound,
+                    "{}/{requirement}: lower bound differs between flat and {label}",
+                    model.name
+                );
+                assert_eq!(
+                    base.meets_deadline, report.meets_deadline,
+                    "{}/{requirement}: deadline verdict differs between flat and {label}",
+                    model.name
+                );
+            }
+        }
+    }
+    counts
 }
 
 fn cfg(reduction: bool) -> AnalysisConfig {
@@ -198,8 +267,7 @@ fn fischer_verdicts_and_state_space_match() {
 }
 
 /// A TDMA bus (time-triggered slots) carrying two scenarios' messages.
-#[test]
-fn tdma_fixture_matches() {
+fn tdma_model() -> ArchitectureModel {
     let mut m = ArchitectureModel::new("tdma");
     let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityNonPreemptive);
     let bus = m.add_bus(
@@ -237,6 +305,12 @@ fn tdma_fixture_matches() {
             deadline: TimeValue::millis(*period_ms),
         });
     }
+    m
+}
+
+#[test]
+fn tdma_fixture_matches() {
+    let m = tdma_model();
     for req in ["r0", "r1"] {
         assert_requirement_matches(&m, req);
     }
@@ -244,8 +318,7 @@ fn tdma_fixture_matches() {
 
 /// The paper's intractable corner scaled down: a bursty low-priority stream
 /// (J > P) interfering with a periodic high-priority task.
-#[test]
-fn burst_fixture_matches() {
+fn burst_model() -> ArchitectureModel {
     let mut m = ArchitectureModel::new("burst");
     let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityPreemptive);
     m.add_scenario(Scenario {
@@ -281,6 +354,12 @@ fn burst_fixture_matches() {
         to: MeasurePoint::AfterStep(0),
         deadline: TimeValue::millis(60),
     });
+    m
+}
+
+#[test]
+fn burst_fixture_matches() {
+    let m = burst_model();
     let (on, off) = assert_requirement_matches(&m, "lo-e2e");
     assert!(
         on < off,
@@ -311,6 +390,82 @@ fn exact_zone_merging_is_wcrt_preserving() {
         }
     }
     assert!(merges_seen, "exact zone merging never fired on the corpus");
+}
+
+/// The storage differential over the pseudo-random corpus: flat, federation
+/// and sharded (parallel, both per-shard backends) stores must produce
+/// identical WCRTs, lower bounds and deadline verdicts — and the federation
+/// store's union-coverage subsumption must actually fire somewhere (fewer
+/// stored states than flat at least once), or the differential is vacuous.
+#[test]
+fn storage_backends_agree_on_generated_corpus() {
+    let mut federation_ever_smaller = false;
+    for seed in 0..8u64 {
+        let model = random_model(seed);
+        for req in ["r0", "r1"] {
+            let (flat, federation) = assert_storage_backends_match(&model, req);
+            if federation < flat {
+                federation_ever_smaller = true;
+            }
+        }
+    }
+    assert!(
+        federation_ever_smaller,
+        "federation storage never stored fewer states than flat on the corpus"
+    );
+}
+
+/// The storage differential over the TDMA and burst fixtures.  The burst
+/// fixture is the paper's intractable corner scaled down: the federation
+/// store must beat flat storage there, strictly.
+#[test]
+fn storage_backends_agree_on_tdma_and_burst_fixtures() {
+    let tdma = tdma_model();
+    for req in ["r0", "r1"] {
+        assert_storage_backends_match(&tdma, req);
+    }
+    let burst = burst_model();
+    let (flat, federation) = assert_storage_backends_match(&burst, "lo-e2e");
+    assert!(
+        federation < flat,
+        "union-coverage subsumption should shrink the burst fixture ({federation} vs {flat})"
+    );
+}
+
+/// The storage differential on Fischer, at the TA level: safety verdicts,
+/// per-process reachability and clock suprema across all three stores, both
+/// sequential and parallel.
+#[test]
+fn storage_backends_agree_on_fischer() {
+    let sys = tempo_bench::fischer(3, true);
+    let x0 = sys.clock_by_name("x0").unwrap();
+    let req = TargetSpec::location(&sys, "P1", "req").unwrap();
+    let cs = TargetSpec::location(&sys, "P1", "cs").unwrap();
+    let violation = TargetSpec::location(&sys, "P1", "cs")
+        .unwrap()
+        .and_location(&sys, "P2", "cs")
+        .unwrap();
+    let mut verdicts = Vec::new();
+    for storage in [StorageKind::Flat, StorageKind::Federation] {
+        let ex = Explorer::new(&sys, SearchOptions::with_storage(storage)).unwrap();
+        let seq_sup = ex.sup_clock_at(&req, x0, 1_000).unwrap().exact_value();
+        let par = ParallelOptions::with_workers(4);
+        let par_sup = ex
+            .par_sup_clock_at(&req, x0, 1_000, &par)
+            .unwrap()
+            .exact_value();
+        assert_eq!(seq_sup, par_sup, "{storage:?}: parallel sup differs");
+        verdicts.push((
+            seq_sup,
+            ex.check_reachable(&cs).unwrap().reachable,
+            ex.check_reachable(&violation).unwrap().reachable,
+            ex.par_check_reachable(&violation, &par).unwrap().reachable,
+        ));
+    }
+    assert_eq!(verdicts[0], verdicts[1], "flat and federation disagree");
+    assert_eq!(verdicts[0].0, Some(2)); // sup x0 at req = K
+    assert!(verdicts[0].1);
+    assert!(!verdicts[0].2 && !verdicts[0].3);
 }
 
 /// One quick-workload case-study column end to end: the sp column of the

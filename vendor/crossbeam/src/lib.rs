@@ -1,17 +1,28 @@
 //! Minimal offline stand-in for `crossbeam`.
 //!
-//! Only [`deque::Injector`] and [`deque::Steal`] are provided — the FIFO
-//! work queue the parallel zone-graph explorer shares between workers.  The
-//! real crate's lock-free queue is replaced with a mutex-protected
-//! `VecDeque`; the API (including the `Steal::Retry` arm) is preserved so
-//! the explorer's retry loop compiles unchanged and the real crate can be
-//! swapped back in for performance work later.
+//! The [`deque`] module provides the work-distribution primitives the
+//! parallel zone-graph explorer uses, with the real crate's API surface:
+//!
+//! * [`deque::Injector`] — a shared FIFO queue any thread can push to and
+//!   steal from (used for seeding work),
+//! * [`deque::Worker`] / [`deque::Stealer`] — per-worker deques with
+//!   work-stealing: the owner pushes and pops its own deque (its lock is
+//!   uncontended unless someone is actively stealing), idle workers steal
+//!   from the opposite end of other workers' deques.
+//!
+//! The real crate's lock-free Chase–Lev deques are replaced with
+//! mutex-protected `VecDeque`s (this stub is `#![forbid(unsafe_code)]`, and
+//! a lock-free deque cannot be written without `unsafe`); because every
+//! worker owns a *separate* deque, the hot path still avoids the single
+//! global queue mutex that serialized all workers before.  The API
+//! (including the `Steal::Retry` arm) matches the real crate so it can be
+//! swapped back in unchanged when networked.
 
 #![forbid(unsafe_code)]
 
 pub mod deque {
     use std::collections::VecDeque;
-    use std::sync::Mutex;
+    use std::sync::{Arc, Mutex};
 
     /// Result of a steal attempt on an [`Injector`].
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,11 +79,182 @@ pub mod deque {
             self.len() == 0
         }
     }
+
+    /// Scheduling flavor of a [`Worker`] deque.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Flavor {
+        /// Owner pushes back and pops front (queue-like).
+        Fifo,
+        /// Owner pushes back and pops back (stack-like, the classic
+        /// Chase–Lev discipline: hot recent work stays with the owner).
+        Lifo,
+    }
+
+    /// A worker-owned deque.  The owning thread pushes and pops; other
+    /// threads steal through [`Stealer`] handles obtained from
+    /// [`Worker::stealer`].
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker: `pop` returns tasks in push order.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                deque: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// A LIFO worker: `pop` returns the most recently pushed task.
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                deque: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// A stealer handle for this deque; cheap to clone and shareable
+        /// across threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                deque: Arc::clone(&self.deque),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.deque
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.deque.lock().unwrap_or_else(|e| e.into_inner());
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.deque.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's deque; steals from
+    /// the front (the end opposite a LIFO owner), so thieves take the
+    /// coldest work.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                deque: Arc::clone(&self.deque),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.deque.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.deque.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::deque::{Injector, Steal};
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn worker_fifo_and_lifo_pop_order() {
+        let fifo = Worker::new_fifo();
+        fifo.push(1);
+        fifo.push(2);
+        assert_eq!(fifo.pop(), Some(1));
+        assert_eq!(fifo.pop(), Some(2));
+        assert_eq!(fifo.pop(), None);
+        let lifo = Worker::new_lifo();
+        lifo.push(1);
+        lifo.push(2);
+        assert_eq!(lifo.pop(), Some(2));
+        assert_eq!(lifo.pop(), Some(1));
+    }
+
+    #[test]
+    fn stealers_take_the_oldest_task() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Thief takes from the front (oldest), owner from the back (newest).
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_drains_every_task() {
+        let workers: Vec<Worker<usize>> = (0..4).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<_> = workers.iter().map(|w| w.stealer()).collect();
+        for (i, w) in workers.iter().enumerate() {
+            for t in 0..500 {
+                w.push(i * 1000 + t);
+            }
+        }
+        let taken = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    let mut progress = false;
+                    for st in &stealers {
+                        match st.steal() {
+                            Steal::Success(_) => {
+                                taken.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                progress = true;
+                            }
+                            Steal::Retry => progress = true,
+                            Steal::Empty => {}
+                        }
+                    }
+                    if !progress && taken.load(std::sync::atomic::Ordering::SeqCst) == 2000 {
+                        break;
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.into_inner(), 2000);
+    }
 
     #[test]
     fn fifo_order() {
