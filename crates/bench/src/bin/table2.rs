@@ -4,13 +4,20 @@
 //! simulation (POOSL stand-in), SymTA/S-style busy-window analysis and
 //! MPA/real-time calculus (all on `pno` event models).
 //!
+//! Runs entirely on the unified engine API: the `po` column is one
+//! `TaEngine` query, and the four `pno` cells of each row come from a single
+//! [`Portfolio::compare`] call, which also asserts the paper's bracket
+//! invariant (`simulation ≤ exact ≤ SymTA/S ≈ MPA`) per row.
+//!
 //! ```text
 //! cargo run --release -p tempo-bench --bin table2 [-- --quick]
 //! ```
 
 use tempo_arch::casestudy::{radio_navigation, table1_rows, CaseStudyParams, EventModelColumn};
-use tempo_bench::{print_table, quick_params, table1_cell, CellConfig};
-use tempo_sim::{simulate, SimConfig};
+use tempo_arch::engine::{Engine, Portfolio, Query, RunContext};
+use tempo_arch::TaEngine;
+use tempo_bench::{engine_estimate_cell, print_table, quick_params, CellConfig};
+use tempo_sim::{SimConfig, SimEngine};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +28,8 @@ fn main() {
         CaseStudyParams::default()
     };
     let cell_cfg = CellConfig::default();
+    let ta = TaEngine::with_config(cell_cfg.analysis_config());
+    let ctx = RunContext::default();
 
     println!("Table 2 — comparison of the analysis techniques (worst-case response times, ms)");
     println!(
@@ -40,47 +49,48 @@ fn main() {
     .map(|s| s.to_string())
     .collect();
 
-    let sim_cfg = SimConfig {
-        horizon: tempo_arch::TimeValue::seconds(600),
-        runs: 5,
-        seed: 0xc0ffee,
-    };
-
     let mut rows: Vec<(String, Vec<String>)> = Vec::new();
     for (req, combo) in table1_rows() {
         eprintln!("computing row {req} ...");
+        let query = Query::wcrt(req);
         let mut cells: Vec<String> = Vec::new();
-        // Exact timed-automata analysis, po and pno columns.
-        for column in [
-            EventModelColumn::PeriodicOffsetZero,
-            EventModelColumn::PeriodicUnknownOffset,
-        ] {
-            let cell = table1_cell(req, combo, column, &params, &cell_cfg);
-            eprintln!("  TA {:<12} {:>16} ({:.2?})", column.label(), cell.formatted(), cell.elapsed);
-            cells.push(cell.formatted());
+
+        // Exact timed-automata analysis on the po column.
+        let po_model = radio_navigation(combo, EventModelColumn::PeriodicOffsetZero, &params);
+        cells.push(engine_estimate_cell(&ta.run(&po_model, &query, &ctx), req));
+
+        // The pno column: exact analysis plus the three baselines, one
+        // portfolio call — reconciled and bracket-checked.
+        let pno_model = radio_navigation(combo, EventModelColumn::PeriodicUnknownOffset, &params);
+        let portfolio = Portfolio::new()
+            .with_engine(Box::new(ta.clone()))
+            .with_engine(Box::new(SimEngine::with_config(SimConfig {
+                horizon: tempo_arch::TimeValue::seconds(600),
+                runs: 5,
+                seed: 0xc0ffee,
+            })))
+            .with_engine(Box::new(tempo_symta::SymtaEngine))
+            .with_engine(Box::new(tempo_rtc::RtcEngine));
+        match portfolio.compare(&pno_model, &query, &ctx) {
+            Ok(comparison) => {
+                for engine in ["timed-automata", "simulation", "symta", "mpa"] {
+                    let cell = comparison
+                        .for_requirement(req)
+                        .and_then(|r| {
+                            r.estimates
+                                .iter()
+                                .find(|(name, _)| name == engine)
+                                .map(|(_, e)| tempo_bench::estimate_cell(e))
+                        })
+                        .unwrap_or_else(|| "n/a".into());
+                    cells.push(cell);
+                }
+                if !comparison.bracket_ok() {
+                    eprintln!("  BRACKET VIOLATION: {:?}", comparison.violations());
+                }
+            }
+            Err(e) => cells.extend(std::iter::repeat_n(format!("({e})"), 4)),
         }
-        // The three baselines all work on the pno model.
-        let model = radio_navigation(combo, EventModelColumn::PeriodicUnknownOffset, &params);
-        let sim_value = simulate(&model, &sim_cfg)
-            .ok()
-            .and_then(|reports| {
-                reports
-                    .into_iter()
-                    .find(|r| r.requirement == req)
-                    .map(|r| format!("{:.3}", r.max_response_ms()))
-            })
-            .unwrap_or_else(|| "n/a".into());
-        cells.push(sim_value);
-        let symta_value = match tempo_symta::analyze_requirement(&model, req) {
-            Ok(r) => format!("{:.3}", r.wcrt_ms()),
-            Err(e) => format!("({e})"),
-        };
-        cells.push(symta_value);
-        let rtc_value = match tempo_rtc::analyze_requirement(&model, req) {
-            Ok(r) => format!("{:.3}", r.wcrt_ms()),
-            Err(e) => format!("({e})"),
-        };
-        cells.push(rtc_value);
         rows.push((req.to_string(), cells));
     }
     print_table("", &header, &rows);

@@ -20,6 +20,7 @@
 use tempo_arch::casestudy::{
     radio_navigation, table1_rows, CaseStudyParams, EventModelColumn, ScenarioCombo,
 };
+use tempo_arch::engine::{EngineError, EngineReport, Estimate};
 use tempo_arch::{analyze_requirement, AnalysisConfig, WcrtReport};
 use tempo_check::{SearchOptions, SearchOrder};
 
@@ -88,6 +89,31 @@ impl Cell {
             },
             Err(e) => format!("error: {e}"),
         }
+    }
+}
+
+/// Formats one [`Estimate`] as a Table-1/2 cell: `79.075` for exact values
+/// and the shared notation (`≥ 61.921ms` truncated lower bound, `≤ 84.066ms`
+/// analytic upper bound) otherwise, so a truncated search is never mistaken
+/// for an exact value.
+pub fn estimate_cell(estimate: &Estimate) -> String {
+    match estimate {
+        Estimate::Exact(t) => format!("{:.3}", t.as_millis_f64()),
+        other => other.to_string(),
+    }
+}
+
+/// Formats one engine answer as a Table-1/2 cell (see [`estimate_cell`]).
+pub fn engine_estimate_cell(
+    outcome: &Result<EngineReport, EngineError>,
+    requirement: &str,
+) -> String {
+    match outcome {
+        Ok(report) => match report.estimate_for(requirement) {
+            Some(row) => estimate_cell(&row.estimate),
+            None => "n/a".into(),
+        },
+        Err(e) => format!("error: {e}"),
     }
 }
 

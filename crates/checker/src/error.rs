@@ -29,6 +29,11 @@ pub enum CheckError {
         /// Description of what could not be resolved.
         what: String,
     },
+    /// The exploration was cancelled through the
+    /// [`SearchHook::cancel`](crate::SearchHook::cancel) flag.  Unlike a
+    /// wall-clock budget expiry (which truncates gracefully and yields lower
+    /// bounds), cancellation aborts with no usable result.
+    Cancelled,
 }
 
 impl fmt::Display for CheckError {
@@ -46,6 +51,7 @@ impl fmt::Display for CheckError {
             CheckError::UnknownQueryEntity { what } => {
                 write!(f, "query references unknown entity: {what}")
             }
+            CheckError::Cancelled => write!(f, "exploration cancelled"),
         }
     }
 }

@@ -3,12 +3,15 @@
 use crate::error::CheckError;
 use crate::state::SymState;
 use crate::store::{self, Insert, StorageKind};
-use crate::successor::{ActionLabel, SuccessorGen};
+use crate::successor::{ActionLabel, QuerySeed, SuccessorGen};
 use crate::target::TargetSpec;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tempo_ta::{ClockId, System};
 
@@ -25,6 +28,82 @@ pub enum SearchOrder {
     Dfs,
     /// Depth-first search with randomly shuffled successor order.
     RandomDfs,
+}
+
+/// The callback type of [`SearchHook::progress`].
+pub type ProgressFn = dyn Fn(&SearchProgress) + Send + Sync;
+
+/// A periodic snapshot of a running exploration, handed to the
+/// [`SearchHook::progress`] callback.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchProgress {
+    /// Symbolic states expanded so far (for the parallel checker: by the
+    /// reporting worker's share of the exploration).
+    pub states_explored: usize,
+    /// Symbolic states currently held by the passed/waiting store.
+    pub states_stored: usize,
+    /// Wall-clock time since the exploration started.
+    pub elapsed: Duration,
+}
+
+/// Budget, cancellation and progress hook threaded through explorations.
+///
+/// This is the seam the architecture layer's `RunContext` plugs into: a
+/// long-running query can be bounded by wall-clock time (the exploration then
+/// stops gracefully with [`ExplorationStats::truncated`] set, so supremum
+/// queries still yield well-formed *lower bounds*), cancelled cooperatively
+/// (the exploration aborts with [`CheckError::Cancelled`]), and observed
+/// through a periodic progress callback.  Honored by both the sequential and
+/// the parallel explorer.
+#[derive(Clone, Default)]
+pub struct SearchHook {
+    /// Stop the exploration (gracefully, marking the statistics truncated)
+    /// once this much wall-clock time has elapsed.
+    pub wall_clock_budget: Option<Duration>,
+    /// Abort the exploration with [`CheckError::Cancelled`] as soon as this
+    /// flag is observed `true`.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Invoked periodically (every [`SearchHook::progress_every`] expanded
+    /// states) from the exploring thread(s).
+    pub progress: Option<Arc<ProgressFn>>,
+    /// States expanded between progress callbacks; `0` selects the default
+    /// (8192).
+    pub progress_every: usize,
+}
+
+impl SearchHook {
+    /// A hook carrying only a wall-clock budget.
+    pub fn with_wall_clock_budget(budget: Duration) -> SearchHook {
+        SearchHook {
+            wall_clock_budget: Some(budget),
+            ..SearchHook::default()
+        }
+    }
+
+    /// The effective progress interval.
+    pub(crate) fn effective_progress_every(&self) -> usize {
+        if self.progress_every == 0 {
+            8192
+        } else {
+            self.progress_every
+        }
+    }
+
+    /// `true` iff the hook can never influence an exploration.
+    pub fn is_noop(&self) -> bool {
+        self.wall_clock_budget.is_none() && self.cancel.is_none() && self.progress.is_none()
+    }
+}
+
+impl fmt::Debug for SearchHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SearchHook")
+            .field("wall_clock_budget", &self.wall_clock_budget)
+            .field("cancel", &self.cancel.is_some())
+            .field("progress", &self.progress.is_some())
+            .field("progress_every", &self.progress_every)
+            .finish()
+    }
 }
 
 /// Options controlling an exploration.
@@ -71,6 +150,9 @@ pub struct SearchOptions {
     /// Additional per-clock constants merged into the extrapolation bounds
     /// (e.g. query constants).
     pub extra_clock_constants: Vec<(ClockId, i64)>,
+    /// Wall-clock budget, cancellation and progress reporting (see
+    /// [`SearchHook`]; the default hook does nothing).
+    pub hook: SearchHook,
 }
 
 impl Default for SearchOptions {
@@ -85,6 +167,7 @@ impl Default for SearchOptions {
             max_states: None,
             truncate_on_limit: false,
             extra_clock_constants: Vec::new(),
+            hook: SearchHook::default(),
         }
     }
 }
@@ -208,21 +291,23 @@ impl<'s> Explorer<'s> {
     ///
     /// * `target`: stop (reporting reachability) as soon as a state matching
     ///   the target is found; `None` explores the full reachable zone graph.
-    /// * `query`: the target whose constants are being respected by
+    /// * `queries`: the targets whose constants are being respected by
     ///   extrapolation (may differ from `target`, e.g. the sup queries
-    ///   explore fully but must keep the observed clock exact at the query
-    ///   locations).
-    /// * `extra_consts`: additional extrapolation constants for this query.
+    ///   explore fully but must keep the observed clocks exact at the query
+    ///   locations; batched WCRT extraction passes one seed per observer).
     /// * `visit`: called once for every state popped from the waiting list.
     pub(crate) fn run<F: FnMut(&SymState)>(
         &self,
         target: Option<&TargetSpec>,
-        query: Option<&TargetSpec>,
-        extra_consts: &[(ClockId, i64)],
+        queries: &[QuerySeed],
         mut visit: F,
     ) -> Result<(Option<Vec<TraceStep>>, bool, ExplorationStats), CheckError> {
         let start = Instant::now();
-        let gen = SuccessorGen::for_query(self.sys, &self.opts, extra_consts, query)?;
+        let gen = SuccessorGen::for_queries(self.sys, &self.opts, queries)?;
+        let hook = &self.opts.hook;
+        let deadline = hook.wall_clock_budget.map(|b| start + b);
+        let progress_every = hook.effective_progress_every();
+        let mut last_progress = 0usize;
         // Exact zone merging is restricted to untargeted explorations: a
         // merged node has no single concrete predecessor path, so diagnostic
         // traces (only produced for targeted searches) stay unmerged.
@@ -257,6 +342,34 @@ impl<'s> Explorer<'s> {
             SearchOrder::Bfs => waiting.pop_front(),
             SearchOrder::Dfs | SearchOrder::RandomDfs => waiting.pop_back(),
         } {
+            // Cooperative cancellation and wall-clock budgeting (checked on a
+            // coarse stride; a single expansion is cheap next to 64 of them).
+            if stats.states_explored & 0x3f == 0 {
+                if let Some(cancel) = &hook.cancel {
+                    if cancel.load(Ordering::Relaxed) {
+                        return Err(CheckError::Cancelled);
+                    }
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        stats.truncated = true;
+                        break 'search;
+                    }
+                }
+            }
+            if let Some(progress) = &hook.progress {
+                // Gate on the counter having *advanced* since the last
+                // report: stale queued states are skipped without expanding,
+                // so a plain modulo test would re-fire on every stale pop.
+                if stats.states_explored >= last_progress + progress_every {
+                    last_progress = stats.states_explored;
+                    progress(&SearchProgress {
+                        states_explored: stats.states_explored,
+                        states_stored: stats.states_stored,
+                        elapsed: start.elapsed(),
+                    });
+                }
+            }
             // A queued state whose zone was since evicted or absorbed into a
             // hull is covered by a stored zone whose own expansion subsumes
             // it: skip it (the flat store keeps every queued state current).
@@ -347,8 +460,12 @@ impl<'s> Explorer<'s> {
 
     /// `EF target`: is a state matching the target reachable?
     pub fn check_reachable(&self, target: &TargetSpec) -> Result<ReachReport, CheckError> {
-        let consts = target.clock_constants(self.sys);
-        let (trace, reachable, stats) = self.run(Some(target), Some(target), &consts, |_| {})?;
+        let seed = QuerySeed {
+            target: target.clone(),
+            consts: target.clock_constants(self.sys),
+        };
+        let (trace, reachable, stats) =
+            self.run(Some(target), std::slice::from_ref(&seed), |_| {})?;
         Ok(ReachReport {
             reachable,
             trace,
@@ -368,7 +485,7 @@ impl<'s> Explorer<'s> {
     /// Explores the entire reachable zone graph, invoking `visit` on every
     /// expanded state, and returns the exploration statistics.
     pub fn explore<F: FnMut(&SymState)>(&self, visit: F) -> Result<ExplorationStats, CheckError> {
-        let (_, _, stats) = self.run(None, None, &[], visit)?;
+        let (_, _, stats) = self.run(None, &[], visit)?;
         Ok(stats)
     }
 

@@ -73,11 +73,12 @@ mod wcrt;
 
 pub use error::CheckError;
 pub use explorer::{
-    ExplorationStats, Explorer, ReachReport, SearchOptions, SearchOrder, TraceStep,
+    ExplorationStats, Explorer, ProgressFn, ReachReport, SearchHook, SearchOptions, SearchOrder,
+    SearchProgress, TraceStep,
 };
 pub use parallel::ParallelOptions;
 pub use store::StorageKind;
 pub use state::{DiscreteState, SymState};
 pub use successor::ActionLabel;
 pub use target::TargetSpec;
-pub use wcrt::{BinarySearchReport, SupReport};
+pub use wcrt::{BinarySearchReport, SupQuery, SupReport};

@@ -27,12 +27,12 @@
 //! are discovered.  Diagnostic traces are not reconstructed in parallel mode.
 
 use crate::error::CheckError;
-use crate::explorer::{ExplorationStats, Explorer, ReachReport};
+use crate::explorer::{ExplorationStats, Explorer, ReachReport, SearchProgress};
 use crate::state::SymState;
 use crate::store::{Insert, ShardedStore};
-use crate::successor::SuccessorGen;
+use crate::successor::{QuerySeed, SuccessorGen};
 use crate::target::TargetSpec;
-use crate::wcrt::SupReport;
+use crate::wcrt::{SupQuery, SupReport};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -100,8 +100,7 @@ impl<'s> Explorer<'s> {
     fn par_run(
         &self,
         target: Option<&TargetSpec>,
-        query: Option<&TargetSpec>,
-        extra_consts: &[(ClockId, i64)],
+        queries: &[QuerySeed],
         visit: &(dyn Fn(&SymState) + Sync),
         par: &ParallelOptions,
     ) -> Result<(bool, ExplorationStats), CheckError> {
@@ -110,10 +109,13 @@ impl<'s> Explorer<'s> {
         let sys = self.system();
         let workers = par.resolved_workers();
         let shards = par.resolved_shards(workers);
+        let hook = &opts.hook;
+        let deadline = hook.wall_clock_budget.map(|b| start + b);
+        let progress_every = hook.effective_progress_every();
 
         // Validate once up front so worker threads can assume a well-formed
         // system (their own `SuccessorGen` construction is then cheap).
-        let gen0 = SuccessorGen::for_query(sys, opts, extra_consts, query)?;
+        let gen0 = SuccessorGen::for_queries(sys, opts, queries)?;
         let init = gen0.initial_state()?;
 
         let mut stats = ExplorationStats {
@@ -137,6 +139,7 @@ impl<'s> Explorer<'s> {
         let found = AtomicBool::new(false);
         let truncated = AtomicBool::new(false);
         let limit_exceeded = AtomicBool::new(false);
+        let cancelled = AtomicBool::new(false);
 
         let mut init = init;
         passed.insert(&init.discrete, &mut init.zone, false);
@@ -162,6 +165,7 @@ impl<'s> Explorer<'s> {
                 let found = &found;
                 let truncated = &truncated;
                 let limit_exceeded = &limit_exceeded;
+                let cancelled = &cancelled;
                 handles.push(scope.spawn(move || {
                     let mut outcome = WorkerOutcome {
                         explored: 0,
@@ -169,7 +173,7 @@ impl<'s> Explorer<'s> {
                         eliminated: 0,
                         error: None,
                     };
-                    let gen = match SuccessorGen::for_query(sys, opts, extra_consts, query) {
+                    let gen = match SuccessorGen::for_queries(sys, opts, queries) {
                         Ok(g) => g,
                         Err(e) => {
                             outcome.error = Some(e);
@@ -177,9 +181,41 @@ impl<'s> Explorer<'s> {
                             return outcome;
                         }
                     };
+                    let mut last_progress = 0usize;
                     loop {
                         if stop.load(Ordering::SeqCst) {
                             break;
+                        }
+                        // Cooperative cancellation and wall-clock budgeting
+                        // (same semantics as the sequential explorer).
+                        if outcome.explored & 0x3f == 0 {
+                            if let Some(cancel) = &hook.cancel {
+                                if cancel.load(Ordering::Relaxed) {
+                                    cancelled.store(true, Ordering::SeqCst);
+                                    stop.store(true, Ordering::SeqCst);
+                                    break;
+                                }
+                            }
+                            if let Some(d) = deadline {
+                                if Instant::now() >= d {
+                                    truncated.store(true, Ordering::SeqCst);
+                                    stop.store(true, Ordering::SeqCst);
+                                    break;
+                                }
+                            }
+                        }
+                        if let Some(progress) = &hook.progress {
+                            // Like the sequential explorer: fire only when
+                            // this worker's counter advanced, not on stale or
+                            // empty pops.
+                            if outcome.explored >= last_progress + progress_every {
+                                last_progress = outcome.explored;
+                                progress(&SearchProgress {
+                                    states_explored: outcome.explored,
+                                    states_stored: passed.live_zones(),
+                                    elapsed: start.elapsed(),
+                                });
+                            }
                         }
                         // Own deque first, then the seed injector, then steal
                         // from peers (round-robin, starting past ourselves).
@@ -303,6 +339,9 @@ impl<'s> Explorer<'s> {
         if let Some(outcome) = outcomes.into_iter().find(|o| o.error.is_some()) {
             return Err(outcome.error.expect("filtered on is_some"));
         }
+        if cancelled.load(Ordering::SeqCst) {
+            return Err(CheckError::Cancelled);
+        }
         if limit_exceeded.load(Ordering::SeqCst) {
             return Err(CheckError::StateLimitExceeded {
                 limit: max_states.unwrap_or(0),
@@ -320,8 +359,12 @@ impl<'s> Explorer<'s> {
         target: &TargetSpec,
         par: &ParallelOptions,
     ) -> Result<ReachReport, CheckError> {
-        let consts = target.clock_constants(self.system());
-        let (reachable, stats) = self.par_run(Some(target), Some(target), &consts, &|_| {}, par)?;
+        let seed = QuerySeed {
+            target: target.clone(),
+            consts: target.clock_constants(self.system()),
+        };
+        let (reachable, stats) =
+            self.par_run(Some(target), std::slice::from_ref(&seed), &|_| {}, par)?;
         Ok(ReachReport {
             reachable,
             trace: None,
@@ -347,7 +390,7 @@ impl<'s> Explorer<'s> {
         visit: &(dyn Fn(&SymState) + Sync),
         par: &ParallelOptions,
     ) -> Result<ExplorationStats, CheckError> {
-        let (_, stats) = self.par_run(None, None, &[], visit, par)?;
+        let (_, stats) = self.par_run(None, &[], visit, par)?;
         Ok(stats)
     }
 
@@ -365,47 +408,14 @@ impl<'s> Explorer<'s> {
         cap: i64,
         par: &ParallelOptions,
     ) -> Result<SupReport, CheckError> {
-        let mut extra = target.clock_constants(self.system());
-        extra.push((clock, cap));
-        let dbm_clock = clock.dbm_clock();
-        let acc: Mutex<(Option<Bound>, bool, Option<CheckError>)> = Mutex::new((None, false, None));
-        let visit = |state: &SymState| {
-            match target.matches(state) {
-                Ok(true) => {
-                    let b = state.zone.sup(dbm_clock);
-                    let mut guard = acc.lock();
-                    guard.0 = Some(match guard.0 {
-                        Some(s) => s.max(b),
-                        None => b,
-                    });
-                    guard.1 = true;
-                }
-                Ok(false) => {}
-                Err(e) => {
-                    let mut guard = acc.lock();
-                    if guard.2.is_none() {
-                        guard.2 = Some(e.into());
-                    }
-                }
-            }
+        let query = SupQuery {
+            target: target.clone(),
+            clock,
+            initial_cap: cap,
+            max_cap: cap,
         };
-        let (_, stats) = self.par_run(None, Some(target), &extra, &visit, par)?;
-        let (sup, matched, error) = acc.into_inner();
-        if let Some(e) = error {
-            return Err(e);
-        }
-        let sup = if matched { sup } else { None };
-        let cap_hit = match sup {
-            Some(b) if b.is_infinity() => true,
-            Some(b) => b.constant() >= cap,
-            None => false,
-        };
-        Ok(SupReport {
-            sup,
-            cap_hit,
-            cap,
-            stats,
-        })
+        let mut reports = self.par_sup_clocks_attempt(std::slice::from_ref(&query), &[cap], par)?;
+        Ok(reports.pop().expect("one report per query"))
     }
 
     /// Parallel variant of [`Explorer::sup_clock_at_auto`]: doubles the cap
@@ -422,6 +432,64 @@ impl<'s> Explorer<'s> {
         crate::wcrt::auto_cap(initial_cap, max_cap, |cap| {
             self.par_sup_clock_at(target, clock, cap, par)
         })
+    }
+
+    /// Parallel variant of [`Explorer::sup_clocks_at_auto`]: computes every
+    /// query's clock supremum in one parallel exploration per cap round,
+    /// doubling the cap of any query whose supremum touched it.
+    pub fn par_sup_clocks_at_auto(
+        &self,
+        queries: &[SupQuery],
+        par: &ParallelOptions,
+    ) -> Result<Vec<SupReport>, CheckError> {
+        crate::wcrt::batched_auto_cap(queries, |caps| {
+            self.par_sup_clocks_attempt(queries, caps, par)
+        })
+    }
+
+    fn par_sup_clocks_attempt(
+        &self,
+        queries: &[SupQuery],
+        caps: &[i64],
+        par: &ParallelOptions,
+    ) -> Result<Vec<SupReport>, CheckError> {
+        let seeds = crate::wcrt::sup_query_seeds(self.system(), queries, caps);
+        type Acc = (Vec<(Option<Bound>, bool)>, Option<CheckError>);
+        let acc: Mutex<Acc> = Mutex::new((vec![(None, false); queries.len()], None));
+        let visit = |state: &SymState| {
+            // Matching runs outside the lock: observer `seen` states are rare
+            // and every worker calls this for every expanded state, so the
+            // common no-match path must stay lock-free.
+            let mut guard = None;
+            for (i, query) in queries.iter().enumerate() {
+                match query.target.matches(state) {
+                    Ok(true) => {
+                        let b = state.zone.sup(query.clock.dbm_clock());
+                        let g = guard.get_or_insert_with(|| acc.lock());
+                        let slot = &mut g.0[i];
+                        slot.0 = Some(match slot.0 {
+                            Some(s) => s.max(b),
+                            None => b,
+                        });
+                        slot.1 = true;
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        let g = guard.get_or_insert_with(|| acc.lock());
+                        if g.1.is_none() {
+                            g.1 = Some(e.into());
+                        }
+                        return;
+                    }
+                }
+            }
+        };
+        let (_, stats) = self.par_run(None, &seeds, &visit, par)?;
+        let (accs, error) = acc.into_inner();
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(crate::wcrt::assemble_sup_reports(accs, caps, &stats))
     }
 }
 

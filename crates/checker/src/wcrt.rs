@@ -18,6 +18,7 @@
 
 use crate::error::CheckError;
 use crate::explorer::{ExplorationStats, Explorer};
+use crate::successor::QuerySeed;
 use crate::target::TargetSpec;
 use tempo_dbm::Bound;
 use tempo_ta::{ClockId, ClockRef};
@@ -51,7 +52,9 @@ impl SupReport {
 
 /// The shared cap-doubling policy of the `*_auto` supremum queries
 /// (sequential and parallel): call `attempt` with growing caps until the
-/// supremum no longer touches the cap or `max_cap` is reached.
+/// supremum no longer touches the cap or `max_cap` is reached.  Truncated
+/// explorations (state limit or wall-clock budget) stop the doubling — the
+/// supremum is only a lower bound there and a larger cap cannot fix that.
 pub(crate) fn auto_cap<F>(
     initial_cap: i64,
     max_cap: i64,
@@ -63,11 +66,102 @@ where
     let mut cap = initial_cap.max(1);
     loop {
         let report = attempt(cap)?;
-        if !report.cap_hit || cap >= max_cap {
+        if !report.cap_hit || report.stats.truncated || cap >= max_cap {
             return Ok(report);
         }
         cap = (cap * 2).min(max_cap);
     }
+}
+
+/// One clock-supremum query of a batched WCRT extraction: compute
+/// `sup { clock | reachable state matching target }` together with the other
+/// queries of the batch, in a *single* exploration of the zone graph.
+#[derive(Clone, Debug)]
+pub struct SupQuery {
+    /// The goal states at which the clock is observed (e.g. a measuring
+    /// observer's committed `seen` location).
+    pub target: TargetSpec,
+    /// The observed clock.
+    pub clock: ClockId,
+    /// Initial extrapolation cap for the observed clock.
+    pub initial_cap: i64,
+    /// Hard upper bound on the cap-doubling of the `*_auto` variants.
+    pub max_cap: i64,
+}
+
+/// The batched form of [`auto_cap`], shared by the sequential and parallel
+/// explorers: re-run `attempt` with the caps of all cap-hitting queries
+/// doubled (each up to its own `max_cap`) until every supremum is exact,
+/// capped out, or truncated.
+pub(crate) fn batched_auto_cap<F>(
+    queries: &[SupQuery],
+    mut attempt: F,
+) -> Result<Vec<SupReport>, CheckError>
+where
+    F: FnMut(&[i64]) -> Result<Vec<SupReport>, CheckError>,
+{
+    let mut caps: Vec<i64> = queries.iter().map(|q| q.initial_cap.max(1)).collect();
+    loop {
+        let reports = attempt(&caps)?;
+        let mut retry = false;
+        for (i, report) in reports.iter().enumerate() {
+            if report.cap_hit && !report.stats.truncated && caps[i] < queries[i].max_cap {
+                caps[i] = caps[i].saturating_mul(2).min(queries[i].max_cap);
+                retry = true;
+            }
+        }
+        if !retry {
+            return Ok(reports);
+        }
+    }
+}
+
+/// The query seeds of one batched attempt: each query's target constants
+/// plus its current clock cap.
+pub(crate) fn sup_query_seeds(
+    sys: &tempo_ta::System,
+    queries: &[SupQuery],
+    caps: &[i64],
+) -> Vec<QuerySeed> {
+    assert_eq!(queries.len(), caps.len());
+    queries
+        .iter()
+        .zip(caps)
+        .map(|(q, cap)| {
+            let mut consts = q.target.clock_constants(sys);
+            consts.push((q.clock, *cap));
+            QuerySeed {
+                target: q.target.clone(),
+                consts,
+            }
+        })
+        .collect()
+}
+
+/// Turns the per-query `(sup, matched)` accumulators of one batched
+/// exploration into [`SupReport`]s sharing that exploration's statistics.
+pub(crate) fn assemble_sup_reports(
+    accs: Vec<(Option<Bound>, bool)>,
+    caps: &[i64],
+    stats: &ExplorationStats,
+) -> Vec<SupReport> {
+    accs.into_iter()
+        .zip(caps)
+        .map(|((sup, matched), cap)| {
+            let sup = if matched { sup } else { None };
+            let cap_hit = match sup {
+                Some(b) if b.is_infinity() => true,
+                Some(b) => b.constant() >= *cap,
+                None => false,
+            };
+            SupReport {
+                sup,
+                cap_hit,
+                cap: *cap,
+                stats: stats.clone(),
+            }
+        })
+        .collect()
 }
 
 /// Result of [`Explorer::binary_search_wcrt`].
@@ -97,44 +191,72 @@ impl<'s> Explorer<'s> {
         clock: ClockId,
         cap: i64,
     ) -> Result<SupReport, CheckError> {
-        let mut extra = target.clock_constants(self.system());
-        extra.push((clock, cap));
-        let dbm_clock = clock.dbm_clock();
-        let mut sup: Option<Bound> = None;
-        let mut matched = false;
+        let query = SupQuery {
+            target: target.clone(),
+            clock,
+            initial_cap: cap,
+            max_cap: cap,
+        };
+        let mut reports = self.sup_clocks_attempt(std::slice::from_ref(&query), &[cap])?;
+        Ok(reports.pop().expect("one report per query"))
+    }
+
+    /// Computes every query's clock supremum in **one** exploration of the
+    /// zone graph — the batched form of [`Explorer::sup_clock_at`] used by
+    /// multi-requirement WCRT extraction (one query per measuring observer).
+    /// Extrapolation keeps each query's clock exact at that query's own
+    /// target locations, and a state is pruned only once *no* query can be
+    /// satisfied from it anymore.  Every returned report shares the
+    /// statistics of the single exploration.
+    pub fn sup_clocks_at(
+        &self,
+        queries: &[SupQuery],
+        caps: &[i64],
+    ) -> Result<Vec<SupReport>, CheckError> {
+        self.sup_clocks_attempt(queries, caps)
+    }
+
+    /// Like [`Explorer::sup_clocks_at`] but automatically doubles the cap of
+    /// every query whose supremum touched it (up to its `max_cap`), re-running
+    /// the batched exploration until all suprema are exact or capped.
+    pub fn sup_clocks_at_auto(&self, queries: &[SupQuery]) -> Result<Vec<SupReport>, CheckError> {
+        batched_auto_cap(queries, |caps| self.sup_clocks_attempt(queries, caps))
+    }
+
+    fn sup_clocks_attempt(
+        &self,
+        queries: &[SupQuery],
+        caps: &[i64],
+    ) -> Result<Vec<SupReport>, CheckError> {
+        let seeds = sup_query_seeds(self.system(), queries, caps);
+        let mut accs: Vec<(Option<Bound>, bool)> = vec![(None, false); queries.len()];
         let mut error: Option<tempo_ta::EvalError> = None;
-        let (_, _, stats) = self.run(None, Some(target), &extra, |state| {
+        let (_, _, stats) = self.run(None, &seeds, |state| {
             if error.is_some() {
                 return;
             }
-            match target.matches(state) {
-                Ok(true) => {
-                    matched = true;
-                    let b = state.zone.sup(dbm_clock);
-                    sup = Some(match sup {
-                        Some(s) => s.max(b),
-                        None => b,
-                    });
+            for (query, acc) in queries.iter().zip(accs.iter_mut()) {
+                match query.target.matches(state) {
+                    Ok(true) => {
+                        let b = state.zone.sup(query.clock.dbm_clock());
+                        acc.0 = Some(match acc.0 {
+                            Some(s) => s.max(b),
+                            None => b,
+                        });
+                        acc.1 = true;
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        error = Some(e);
+                        return;
+                    }
                 }
-                Ok(false) => {}
-                Err(e) => error = Some(e),
             }
         })?;
         if let Some(e) = error {
             return Err(e.into());
         }
-        let sup = if matched { sup } else { None };
-        let cap_hit = match sup {
-            Some(b) if b.is_infinity() => true,
-            Some(b) => b.constant() >= cap,
-            None => false,
-        };
-        Ok(SupReport {
-            sup,
-            cap_hit,
-            cap,
-            stats,
-        })
+        Ok(assemble_sup_reports(accs, caps, &stats))
     }
 
     /// Like [`Explorer::sup_clock_at`] but automatically doubles the cap (up
@@ -354,5 +476,127 @@ mod tests {
         let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
         let seen = TargetSpec::location(&sys, "job", "seen").unwrap();
         assert!(ex.binary_search_wcrt(&seen, y, 0, 5).is_err());
+    }
+
+    /// Two independent jobs, each with its own observer clock captured in its
+    /// own committed location — the batched-sup shape of a multi-requirement
+    /// WCRT query.
+    fn two_observed_jobs() -> System {
+        let mut sb = SystemBuilder::new("two_jobs");
+        for (name, lo, hi) in [("a", 3i64, 7i64), ("b", 2, 11)] {
+            let x = sb.add_clock(format!("x_{name}"));
+            let y = sb.add_clock(format!("y_{name}"));
+            let mut a = sb.automaton(format!("job_{name}"));
+            let run = a.location("run").invariant(x.le(hi)).add();
+            let seen = a.location("seen").committed(true).add();
+            let done = a.location("done").add();
+            a.edge(run, seen).guard_clock(x.ge(lo)).add();
+            a.edge(seen, done).add();
+            a.set_initial(run);
+            a.build();
+            let _ = y;
+        }
+        sb.build()
+    }
+
+    #[test]
+    fn batched_sups_match_individual_sups() {
+        let sys = two_observed_jobs();
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let queries: Vec<SupQuery> = [("a", "y_a"), ("b", "y_b")]
+            .iter()
+            .map(|(name, clock)| SupQuery {
+                target: TargetSpec::location(&sys, &format!("job_{name}"), "seen").unwrap(),
+                clock: sys.clock_by_name(clock).unwrap(),
+                initial_cap: 2,
+                max_cap: 1_000,
+            })
+            .collect();
+        let batched = ex.sup_clocks_at_auto(&queries).unwrap();
+        assert_eq!(batched.len(), 2);
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = ex
+                .sup_clock_at_auto(&q.target, q.clock, q.initial_cap, q.max_cap)
+                .unwrap();
+            assert_eq!(b.exact_value(), single.exact_value());
+            assert!(!b.cap_hit);
+        }
+        assert_eq!(batched[0].exact_value(), Some(7));
+        assert_eq!(batched[1].exact_value(), Some(11));
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_truncates_gracefully() {
+        use crate::explorer::SearchHook;
+        let sys = job_with_observer();
+        let y = sys.clock_by_name("y").unwrap();
+        let opts = SearchOptions {
+            hook: SearchHook::with_wall_clock_budget(std::time::Duration::ZERO),
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let seen = TargetSpec::location(&sys, "job", "seen").unwrap();
+        let report = ex.sup_clock_at_auto(&seen, y, 2, 1_000).unwrap();
+        // Nothing was explored; the (empty) supremum is a trustworthy
+        // truncation, not an error, and the auto-cap loop must not spin.
+        assert!(report.stats.truncated);
+        assert_eq!(report.exact_value(), None);
+    }
+
+    #[test]
+    fn cancellation_aborts_with_cancelled_error() {
+        use crate::explorer::SearchHook;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let sys = job_with_observer();
+        let y = sys.clock_by_name("y").unwrap();
+        let cancel = Arc::new(AtomicBool::new(true));
+        let opts = SearchOptions {
+            hook: SearchHook {
+                cancel: Some(Arc::clone(&cancel)),
+                ..SearchHook::default()
+            },
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let seen = TargetSpec::location(&sys, "job", "seen").unwrap();
+        let err = ex.sup_clock_at(&seen, y, 1_000).unwrap_err();
+        assert!(matches!(err, CheckError::Cancelled));
+        // Clearing the flag lets the same options succeed.
+        cancel.store(false, Ordering::SeqCst);
+        let ok = ex.sup_clock_at(&seen, y, 1_000).unwrap();
+        assert_eq!(ok.exact_value(), Some(7));
+    }
+
+    #[test]
+    fn progress_hook_fires_in_both_explorers() {
+        use crate::explorer::SearchHook;
+        use crate::parallel::ParallelOptions;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let sys = two_observed_jobs();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_in_hook = Arc::clone(&calls);
+        let opts = SearchOptions {
+            hook: SearchHook {
+                progress: Some(Arc::new(move |p: &crate::explorer::SearchProgress| {
+                    assert!(p.states_explored > 0);
+                    calls_in_hook.fetch_add(1, Ordering::Relaxed);
+                })),
+                progress_every: 1,
+                ..SearchHook::default()
+            },
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        ex.explore(|_| {}).unwrap();
+        let sequential = calls.swap(0, Ordering::Relaxed);
+        assert!(sequential > 0, "sequential progress hook never fired");
+        ex.par_explore(&|_| {}, &ParallelOptions::with_workers(2))
+            .unwrap();
+        assert!(
+            calls.load(Ordering::Relaxed) > 0,
+            "parallel progress hook never fired"
+        );
     }
 }

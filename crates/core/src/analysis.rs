@@ -1,6 +1,7 @@
 //! The analysis driver: generate the timed-automata network for a requirement
 //! and extract its worst-case response time with the model checker.
 
+use crate::engine::{Estimate, Session};
 use crate::generator::{generate, GeneratedModel, GeneratorOptions};
 use crate::model::{ArchitectureModel, ModelError, Requirement};
 use crate::time::TimeValue;
@@ -120,52 +121,70 @@ pub struct WcrtReport {
 }
 
 impl WcrtReport {
-    /// The WCRT in milliseconds, if exact.
+    /// The WCRT as a typed [`Estimate`]: exact when the analysis completed,
+    /// a lower bound when the search was truncated (state or wall-clock
+    /// budget) or ran into the extrapolation cap.  A requirement whose
+    /// response was never observed degrades to the trivial lower bound 0.
+    pub fn estimate(&self) -> Estimate {
+        match (self.wcrt, self.lower_bound) {
+            (Some(w), _) => Estimate::Exact(w),
+            (None, Some(lb)) => Estimate::LowerBound(lb),
+            (None, None) => Estimate::LowerBound(TimeValue::ZERO),
+        }
+    }
+
+    /// The WCRT in milliseconds, if exact (routed through
+    /// [`Estimate::exact_millis`], the shared conversion path).
     pub fn wcrt_ms(&self) -> Option<f64> {
-        self.wcrt.map(|t| t.as_millis_f64())
+        self.estimate().exact_millis()
     }
 }
 
 impl fmt::Display for WcrtReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (self.wcrt, self.lower_bound) {
-            (Some(w), _) => write!(f, "{}: WCRT = {w} (deadline {})", self.requirement, self.deadline),
-            (None, Some(lb)) => write!(
-                f,
-                "{}: WCRT > {lb} (lower bound, deadline {})",
-                self.requirement, self.deadline
-            ),
-            (None, None) => write!(f, "{}: requirement never exercised", self.requirement),
+        if self.wcrt.is_none() && self.lower_bound.is_none() {
+            return write!(f, "{}: requirement never exercised", self.requirement);
         }
+        write!(
+            f,
+            "{}: WCRT {} (deadline {})",
+            self.requirement,
+            self.estimate(),
+            self.deadline
+        )
     }
 }
 
 /// Analyzes a single requirement of the model and returns its WCRT.
+///
+/// Thin shim over the engine API: equivalent to opening a
+/// [`Session`](crate::engine::Session) and running a single
+/// [`Query::Wcrt`](crate::engine::Query::Wcrt).  Code issuing several queries
+/// against the same model should hold a `Session` instead, which caches the
+/// generated network.
 pub fn analyze_requirement(
     model: &ArchitectureModel,
     requirement_name: &str,
     cfg: &AnalysisConfig,
 ) -> Result<WcrtReport, ArchError> {
-    let req = model
-        .requirement_by_name(requirement_name)
-        .ok_or_else(|| ArchError::UnknownRequirement {
-            name: requirement_name.to_string(),
-        })?
-        .clone();
-    let generated = generate(model, Some(&req), &cfg.generator)?;
-    analyze_generated(&generated, &req, cfg)
+    Session::new(model, cfg.clone())?.wcrt(requirement_name)
 }
 
 /// Analyzes every requirement of the model.
+///
+/// Thin shim over the engine API in its per-requirement mode (one dedicated
+/// network and one report with its own statistics per requirement, exactly
+/// the historical behavior).  A [`Session`](crate::engine::Session) running
+/// [`Query::WcrtAll`](crate::engine::Query::WcrtAll) instead generates a
+/// single multi-observer network and answers every requirement in one
+/// exploration.
 pub fn analyze_all(
     model: &ArchitectureModel,
     cfg: &AnalysisConfig,
 ) -> Result<Vec<WcrtReport>, ArchError> {
-    model
-        .requirements
-        .iter()
-        .map(|r| analyze_requirement(model, &r.name, cfg))
-        .collect()
+    let mut session = Session::new(model, cfg.clone())?;
+    session.set_batch_wcrt_all(false);
+    session.wcrt_all()
 }
 
 /// Runs the WCRT extraction on an already generated model.
@@ -193,25 +212,36 @@ pub fn analyze_generated(
         }
         None => explorer.sup_clock_at_auto(&target, observer.clock, initial_cap, max_cap)?,
     };
+    Ok(report_from_sup(&generated.quantizer, req, report))
+}
 
+/// Interprets a raw clock-supremum report as a [`WcrtReport`] for `req` —
+/// the single conversion shared by the one-requirement analysis above and
+/// the batched multi-requirement path of the engine layer's `Session`.
+pub(crate) fn report_from_sup(
+    quantizer: &crate::time::Quantizer,
+    req: &Requirement,
+    report: tempo_check::SupReport,
+) -> WcrtReport {
     let (wcrt, lower_bound) = if report.stats.truncated {
         // The exploration was cut short (bounded "structured testing" in the
-        // sense of Section 4): the observed supremum is only a lower bound.
+        // sense of Section 4, or an expired wall-clock budget): the observed
+        // supremum is only a lower bound.
         (
             None,
             report
                 .sup
                 .and_then(|b| b.finite_constant())
-                .map(|t| generated.quantizer.from_ticks(t)),
+                .map(|t| quantizer.from_ticks(t)),
         )
     } else if report.cap_hit {
-        (None, Some(generated.quantizer.from_ticks(report.cap)))
+        (None, Some(quantizer.from_ticks(report.cap)))
     } else {
         (
             report
                 .sup
                 .and_then(|b| b.finite_constant())
-                .map(|t| generated.quantizer.from_ticks(t)),
+                .map(|t| quantizer.from_ticks(t)),
             None,
         )
     };
@@ -220,14 +250,14 @@ pub fn analyze_generated(
         (None, Some(lb)) if lb >= req.deadline => Some(false),
         _ => None,
     };
-    Ok(WcrtReport {
+    WcrtReport {
         requirement: req.name.clone(),
         wcrt,
         lower_bound,
         deadline: req.deadline,
         meets_deadline,
         stats: report.stats,
-    })
+    }
 }
 
 /// Reproduces the paper's Property 1 procedure (binary search over `C`) for a
@@ -269,20 +299,14 @@ pub fn analyze_requirement_binary_search(
 /// Verifies that no event queue can overflow for the given model (a
 /// schedulability-style sanity check): returns `Ok(())` if all queues stay
 /// within capacity, or the offending variable.
+///
+/// Thin shim over the engine API's
+/// [`Query::QueueBounds`](crate::engine::Query::QueueBounds).
 pub fn check_queues_bounded(
     model: &ArchitectureModel,
     cfg: &AnalysisConfig,
 ) -> Result<(), ArchError> {
-    let generated = generate(model, None, &cfg.generator)?;
-    let explorer = Explorer::new(&generated.system, cfg.search.clone())?;
-    let outcome = match &cfg.parallel {
-        Some(par) => explorer.par_explore(&|_| {}, par),
-        None => explorer.explore(|_| {}),
-    };
-    match outcome {
-        Ok(_) => Ok(()),
-        Err(e) => Err(ArchError::from(e)),
-    }
+    Session::new(model, cfg.clone())?.queue_check().map(|_| ())
 }
 
 #[cfg(test)]

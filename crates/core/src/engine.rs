@@ -1,0 +1,1537 @@
+//! # The unified analysis-engine API
+//!
+//! The paper's contribution (Section 5) is a *comparison*: exact
+//! timed-automata worst-case response times, bracketed from below by
+//! discrete-event simulation and from above by the SymTA/S and MPA analytic
+//! bounds.  This module turns that comparison into a first-class, typed query
+//! surface shared by all four techniques:
+//!
+//! * [`Query`] — what is being asked (a WCRT, all WCRTs, a deadline verdict,
+//!   queue boundedness, a raw supremum),
+//! * [`Estimate`] — how an answer bounds the true value
+//!   (exact / lower bound / upper bound / interval), with refinement and
+//!   bracket-consistency helpers, so "sim ≤ exact ≤ analytic" is a typed
+//!   relation instead of float plumbing in examples,
+//! * [`Engine`] — the trait every technique implements (`TaEngine` here,
+//!   `RtcEngine`, `SymtaEngine` and `SimEngine` in their crates),
+//! * [`RunContext`] — wall-clock/state budgets, cooperative cancellation and
+//!   progress reporting, threaded down into the model checker's explorers
+//!   through [`tempo_check::SearchHook`],
+//! * [`Session`] — a stateful handle binding one model: it validates once,
+//!   generates/compiles the timed-automata network **once** per query shape
+//!   and reuses it across queries (a multi-requirement [`Query::WcrtAll`]
+//!   generates a single multi-observer network and answers every requirement
+//!   in one exploration),
+//! * [`Portfolio`] — fans a query across several engines, checks the paper's
+//!   bracket invariant (every lower bound ≤ every exact value ≤ every upper
+//!   bound, within a tolerance), and reconciles the answers into one
+//!   [`Estimate`] — Tables 1/2 of the paper as an API call.
+//!
+//! The pre-existing free functions (`analyze_requirement`, `analyze_all`,
+//! `check_queues_bounded`, and the per-technique `analyze_*`/`simulate`
+//! entry points) remain as thin shims over this surface, so downstream code
+//! keeps compiling while new code targets the engine API.
+
+use crate::analysis::{analyze_generated, report_from_sup, AnalysisConfig, ArchError, WcrtReport};
+use crate::generator::{generate, generate_measuring, GeneratedModel};
+use crate::model::{ArchitectureModel, Requirement};
+use crate::time::TimeValue;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tempo_check::{CheckError, Explorer, SearchHook, SupQuery, TargetSpec};
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+/// A typed analysis query, the single entry point all engines share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// The worst-case response time of one requirement.
+    Wcrt {
+        /// Requirement name.
+        requirement: String,
+    },
+    /// The worst-case response times of every requirement of the model.
+    WcrtAll,
+    /// Does the requirement meet its deadline?  The report's `verdict` is
+    /// `Some(true)` when proven met, `Some(false)` when proven (or witnessed)
+    /// violated, `None` when the engine cannot decide.
+    DeadlineCheck {
+        /// Requirement name.
+        requirement: String,
+    },
+    /// Do all event queues stay within their configured capacity (the
+    /// schedulability-style sanity check)?
+    QueueBounds,
+    /// The raw response-time supremum of one requirement — the same estimate
+    /// as [`Query::Wcrt`] but without the deadline verdict (the paper's
+    /// `sup y` query in isolation).
+    Supremum {
+        /// Requirement name.
+        requirement: String,
+    },
+}
+
+impl Query {
+    /// Convenience constructor for [`Query::Wcrt`].
+    pub fn wcrt(requirement: impl Into<String>) -> Query {
+        Query::Wcrt {
+            requirement: requirement.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Query::DeadlineCheck`].
+    pub fn deadline_check(requirement: impl Into<String>) -> Query {
+        Query::DeadlineCheck {
+            requirement: requirement.into(),
+        }
+    }
+
+    /// The requirement the query is about, if it targets a single one.
+    pub fn requirement(&self) -> Option<&str> {
+        match self {
+            Query::Wcrt { requirement }
+            | Query::DeadlineCheck { requirement }
+            | Query::Supremum { requirement } => Some(requirement),
+            Query::WcrtAll | Query::QueueBounds => None,
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Wcrt { requirement } => write!(f, "wcrt({requirement})"),
+            Query::WcrtAll => write!(f, "wcrt(*)"),
+            Query::DeadlineCheck { requirement } => write!(f, "deadline({requirement})"),
+            Query::QueueBounds => write!(f, "queue-bounds"),
+            Query::Supremum { requirement } => write!(f, "sup({requirement})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Estimates
+// ---------------------------------------------------------------------------
+
+/// How an engine's answer bounds the true worst-case response time.
+///
+/// This is the shared vocabulary of the comparison: the exact timed-automata
+/// analysis returns [`Estimate::Exact`] (or [`Estimate::LowerBound`] when
+/// truncated by a state or wall-clock budget), simulation returns
+/// [`Estimate::LowerBound`] (it observes *some* schedules), and the analytic
+/// baselines return [`Estimate::UpperBound`]s.  [`Estimate::refined_with`]
+/// intersects two sound estimates of the same value;
+/// [`Estimate::consistent_with`] is the bracket check of the portfolio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Estimate {
+    /// The value exactly.
+    Exact(TimeValue),
+    /// The true value is at least this (attained or approached).
+    LowerBound(TimeValue),
+    /// The true value is at most this.
+    UpperBound(TimeValue),
+    /// The true value lies in `[lo, hi]`.
+    Interval {
+        /// Inclusive lower end.
+        lo: TimeValue,
+        /// Inclusive upper end.
+        hi: TimeValue,
+    },
+}
+
+impl Estimate {
+    /// The representative value (for an interval: the safe upper end).
+    pub fn value(self) -> TimeValue {
+        match self {
+            Estimate::Exact(t) | Estimate::LowerBound(t) | Estimate::UpperBound(t) => t,
+            Estimate::Interval { hi, .. } => hi,
+        }
+    }
+
+    /// The representative value in milliseconds — the **single** float
+    /// conversion path every report helper routes through.
+    pub fn as_millis_f64(self) -> f64 {
+        self.value().as_millis_f64()
+    }
+
+    /// The value if it is known exactly.
+    pub fn exact(self) -> Option<TimeValue> {
+        match self {
+            Estimate::Exact(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The exact value in milliseconds, if known exactly.
+    pub fn exact_millis(self) -> Option<f64> {
+        self.exact().map(TimeValue::as_millis_f64)
+    }
+
+    /// `true` iff the estimate pins the value exactly.
+    pub fn is_exact(self) -> bool {
+        matches!(self, Estimate::Exact(_))
+    }
+
+    /// The best known lower bound on the true value, if any.
+    pub fn lower(self) -> Option<TimeValue> {
+        match self {
+            Estimate::Exact(t) | Estimate::LowerBound(t) => Some(t),
+            Estimate::UpperBound(_) => None,
+            Estimate::Interval { lo, .. } => Some(lo),
+        }
+    }
+
+    /// The best known upper bound on the true value, if any.
+    pub fn upper(self) -> Option<TimeValue> {
+        match self {
+            Estimate::Exact(t) | Estimate::UpperBound(t) => Some(t),
+            Estimate::LowerBound(_) => None,
+            Estimate::Interval { hi, .. } => Some(hi),
+        }
+    }
+
+    /// Intersects the knowledge of two sound estimates of the same value:
+    /// the result carries the tighter bounds.  Returns `None` when the two
+    /// contradict each other (some lower bound exceeds some upper bound) —
+    /// at least one of them must then be wrong.
+    pub fn refined_with(self, other: Estimate) -> Option<Estimate> {
+        let lo = match (self.lower(), other.lower()) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let hi = match (self.upper(), other.upper()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        match (lo, hi) {
+            (Some(l), Some(h)) if l > h => None,
+            (Some(l), Some(h)) if l == h => Some(Estimate::Exact(l)),
+            (Some(l), Some(h)) => Some(Estimate::Interval { lo: l, hi: h }),
+            (Some(l), None) => Some(Estimate::LowerBound(l)),
+            (None, Some(h)) => Some(Estimate::UpperBound(h)),
+            (None, None) => unreachable!("every estimate carries at least one bound"),
+        }
+    }
+
+    /// The bracket check: `true` iff the two estimates can describe the same
+    /// true value, allowing `tolerance` of slack (quantization and float
+    /// rounding in the baselines).
+    pub fn consistent_with(self, other: Estimate, tolerance: TimeValue) -> bool {
+        let ordered = |lo: Option<TimeValue>, hi: Option<TimeValue>| match (lo, hi) {
+            (Some(l), Some(h)) => l <= h + tolerance,
+            _ => true,
+        };
+        ordered(self.lower(), other.upper()) && ordered(other.lower(), self.upper())
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Estimate::Exact(t) => write!(f, "= {t}"),
+            Estimate::LowerBound(t) => write!(f, "\u{2265} {t}"),
+            Estimate::UpperBound(t) => write!(f, "\u{2264} {t}"),
+            Estimate::Interval { lo, hi } => write!(f, "[{lo}, {hi}]"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine trait, capabilities, context, reports, errors
+// ---------------------------------------------------------------------------
+
+/// The kind of bound an engine's estimates provide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundKind {
+    /// Exact values (the timed-automata analysis).
+    Exact,
+    /// Lower bounds (simulation: observes some schedules).
+    Lower,
+    /// Conservative upper bounds (the analytic baselines).
+    Upper,
+    /// A mix (a portfolio reconciling several engines).
+    Mixed,
+}
+
+/// What an engine can answer, advertised so a [`Portfolio`] can route
+/// queries without trial and error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The kind of bound the WCRT estimates provide.
+    pub bound: BoundKind,
+    /// Supports [`Query::Wcrt`] / [`Query::WcrtAll`] / [`Query::Supremum`].
+    pub wcrt: bool,
+    /// Supports [`Query::DeadlineCheck`] (possibly only in one direction —
+    /// an upper-bound engine proves deadlines met, a lower-bound engine
+    /// refutes them).
+    pub deadline_check: bool,
+    /// Supports [`Query::QueueBounds`].
+    pub queue_bounds: bool,
+}
+
+impl Capabilities {
+    /// `true` iff the engine can (attempt to) answer the query.
+    pub fn supports(&self, query: &Query) -> bool {
+        match query {
+            Query::Wcrt { .. } | Query::WcrtAll | Query::Supremum { .. } => self.wcrt,
+            Query::DeadlineCheck { .. } => self.deadline_check,
+            Query::QueueBounds => self.queue_bounds,
+        }
+    }
+}
+
+/// Budget limits of one engine run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock budget: the run stops gracefully (truncating to a lower
+    /// bound where applicable) once this much time has elapsed.
+    pub wall_clock: Option<Duration>,
+    /// State budget for the symbolic explorers (merged with any configured
+    /// `max_states`, truncating instead of erroring).
+    pub max_states: Option<usize>,
+}
+
+/// Everything ambient to one engine run: budgets, cooperative cancellation
+/// and progress reporting.  Threaded down into `tempo_check`'s sequential and
+/// parallel explorers through [`SearchHook`]; the non-symbolic engines honor
+/// the budget and the cancellation flag at their own natural granularity
+/// (e.g. between simulation runs).
+#[derive(Clone, Default)]
+pub struct RunContext {
+    /// Budget limits.
+    pub budget: Budget,
+    /// Cooperative cancellation: set to `true` to abort the run with
+    /// [`EngineError::Cancelled`].
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Periodic progress callback (invoked from the exploring threads).
+    pub progress: Option<Arc<tempo_check::ProgressFn>>,
+}
+
+impl RunContext {
+    /// A context carrying only a wall-clock budget.
+    pub fn with_wall_clock(budget: Duration) -> RunContext {
+        RunContext {
+            budget: Budget {
+                wall_clock: Some(budget),
+                max_states: None,
+            },
+            ..RunContext::default()
+        }
+    }
+
+    /// A context carrying only a state budget.
+    pub fn with_max_states(max_states: usize) -> RunContext {
+        RunContext {
+            budget: Budget {
+                wall_clock: None,
+                max_states: Some(max_states),
+            },
+            ..RunContext::default()
+        }
+    }
+
+    /// `true` iff the cancellation flag is set.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// The [`SearchHook`] carrying this context into the model checker.
+    pub fn search_hook(&self) -> SearchHook {
+        SearchHook {
+            wall_clock_budget: self.budget.wall_clock,
+            cancel: self.cancel.clone(),
+            progress: self.progress.clone(),
+            progress_every: 0,
+        }
+    }
+}
+
+impl fmt::Debug for RunContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunContext")
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel.is_some())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// One requirement's answer within an [`EngineReport`].
+#[derive(Clone, Debug)]
+pub struct RequirementEstimate {
+    /// Requirement name.
+    pub requirement: String,
+    /// The engine's estimate of the worst-case response time.
+    pub estimate: Estimate,
+    /// The requirement's deadline (for context).
+    pub deadline: TimeValue,
+    /// The engine's deadline verdict, where it can give one.
+    pub meets_deadline: Option<bool>,
+}
+
+impl RequirementEstimate {
+    /// Builds the estimate row of a timed-automata [`WcrtReport`].
+    pub fn from_wcrt(report: &WcrtReport) -> RequirementEstimate {
+        RequirementEstimate {
+            requirement: report.requirement.clone(),
+            estimate: report.estimate(),
+            deadline: report.deadline,
+            meets_deadline: report.meets_deadline,
+        }
+    }
+}
+
+impl fmt::Display for RequirementEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: WCRT {}", self.requirement, self.estimate)
+    }
+}
+
+/// The uniform answer of one engine to one [`Query`].
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// The answering engine's [`Engine::name`].
+    pub engine: String,
+    /// The query answered.
+    pub query: Query,
+    /// Per-requirement estimates (empty for pure verdict queries).
+    pub estimates: Vec<RequirementEstimate>,
+    /// The verdict of [`Query::DeadlineCheck`] / [`Query::QueueBounds`]
+    /// (`None`: the engine cannot decide, e.g. after a truncated search).
+    pub verdict: Option<bool>,
+    /// Wall-clock time the engine spent.
+    pub wall_time: Duration,
+    /// Symbolic states stored, for engines that explore a state space.
+    pub states_stored: Option<usize>,
+}
+
+impl EngineReport {
+    /// The estimate for `requirement`, if the report contains one.
+    pub fn estimate_for(&self, requirement: &str) -> Option<&RequirementEstimate> {
+        self.estimates.iter().find(|e| e.requirement == requirement)
+    }
+}
+
+/// The shared error vocabulary of every engine.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The architecture model is invalid.
+    Model(String),
+    /// A requirement name could not be resolved.
+    UnknownRequirement(String),
+    /// The engine cannot answer this query or analyze this model shape
+    /// (e.g. the analytic baselines on TDMA buses, whose slot gating their
+    /// resource model does not cover).
+    Unsupported {
+        /// The declining engine.
+        engine: String,
+        /// Why.
+        detail: String,
+    },
+    /// A resource is overloaded; no finite answer exists.
+    Overload(String),
+    /// The run was cancelled through [`RunContext::cancel`].
+    Cancelled,
+    /// Any other engine failure.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Model(m) => write!(f, "invalid architecture model: {m}"),
+            EngineError::UnknownRequirement(n) => write!(f, "unknown requirement `{n}`"),
+            EngineError::Unsupported { engine, detail } => {
+                write!(f, "engine `{engine}` cannot answer this query: {detail}")
+            }
+            EngineError::Overload(d) => write!(f, "resource overloaded: {d}"),
+            EngineError::Cancelled => write!(f, "analysis cancelled"),
+            EngineError::Internal(d) => write!(f, "analysis failed: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ArchError> for EngineError {
+    fn from(e: ArchError) -> Self {
+        match e {
+            ArchError::Model(m) => EngineError::Model(m.to_string()),
+            ArchError::UnknownRequirement { name } => EngineError::UnknownRequirement(name),
+            ArchError::QueueOverflow { detail } => EngineError::Overload(detail),
+            ArchError::Check(CheckError::Cancelled) => EngineError::Cancelled,
+            ArchError::Check(e) => EngineError::Internal(e.to_string()),
+        }
+    }
+}
+
+/// Declines a model containing TDMA buses on behalf of an analytic engine:
+/// busy-window and service-curve resource models cover priority arbitration
+/// only, so a "bound" computed under slot gating would not be safe.  Shared
+/// by `RtcEngine` and `SymtaEngine` (and any future analytic baseline).
+pub fn reject_tdma_buses(model: &ArchitectureModel, engine: &str) -> Result<(), EngineError> {
+    if model
+        .buses
+        .iter()
+        .any(|b| matches!(b.arbitration, crate::model::BusArbitration::Tdma { .. }))
+    {
+        return Err(EngineError::Unsupported {
+            engine: engine.into(),
+            detail: "TDMA slot gating is outside the engine's resource model; \
+                     its bound would not be a safe upper bound"
+                .into(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the estimate row of an analytic upper bound: a bound below the
+/// deadline proves the deadline met; a bound at or above it decides nothing.
+/// The shared verdict convention of the upper-bound engines.
+pub fn upper_bound_row(
+    model: &ArchitectureModel,
+    requirement: &str,
+    bound: TimeValue,
+) -> RequirementEstimate {
+    let deadline = model
+        .requirement_by_name(requirement)
+        .map(|r| r.deadline)
+        .unwrap_or(TimeValue::ZERO);
+    RequirementEstimate {
+        requirement: requirement.to_string(),
+        estimate: Estimate::UpperBound(bound),
+        deadline,
+        meets_deadline: (bound < deadline).then_some(true),
+    }
+}
+
+/// Drives an analytic upper-bound engine's query dispatch — the shared body
+/// of `RtcEngine::run` and `SymtaEngine::run` (and any future analytic
+/// baseline): checks cancellation, declines TDMA models, routes the query to
+/// the per-requirement (`one`) or all-requirements (`all`) closure, applies
+/// the shared verdict conventions and assembles the uniform report.
+pub fn run_upper_bound_engine(
+    engine: &'static str,
+    model: &ArchitectureModel,
+    query: &Query,
+    ctx: &RunContext,
+    one: &mut dyn FnMut(&str) -> Result<RequirementEstimate, EngineError>,
+    all: &mut dyn FnMut() -> Result<Vec<RequirementEstimate>, EngineError>,
+) -> Result<EngineReport, EngineError> {
+    if ctx.is_cancelled() {
+        return Err(EngineError::Cancelled);
+    }
+    reject_tdma_buses(model, engine)?;
+    let started = Instant::now();
+    let (estimates, verdict) = match query {
+        Query::Wcrt { requirement } => (vec![one(requirement)?], None),
+        Query::Supremum { requirement } => {
+            let mut row = one(requirement)?;
+            row.meets_deadline = None;
+            (vec![row], None)
+        }
+        Query::DeadlineCheck { requirement } => {
+            let row = one(requirement)?;
+            let verdict = row.meets_deadline;
+            (vec![row], verdict)
+        }
+        Query::WcrtAll => (all()?, None),
+        Query::QueueBounds => {
+            return Err(EngineError::Unsupported {
+                engine: engine.into(),
+                detail: "queue-boundedness needs the exact state space".into(),
+            })
+        }
+    };
+    Ok(EngineReport {
+        engine: engine.into(),
+        query: query.clone(),
+        estimates,
+        verdict,
+        wall_time: started.elapsed(),
+        states_stored: None,
+    })
+}
+
+/// An analysis engine: one technique behind the unified query surface.
+pub trait Engine {
+    /// A short stable identifier ("timed-automata", "simulation", "symta",
+    /// "mpa", "portfolio").
+    fn name(&self) -> &'static str;
+
+    /// What the engine can answer and what kind of bounds it produces.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Answers `query` about `model` under `ctx`.
+    fn run(
+        &self,
+        model: &ArchitectureModel,
+        query: &Query,
+        ctx: &RunContext,
+    ) -> Result<EngineReport, EngineError>;
+}
+
+// ---------------------------------------------------------------------------
+// The timed-automata engine and its session
+// ---------------------------------------------------------------------------
+
+/// The exact timed-automata engine (the paper's primary technique), wrapping
+/// the model checker behind the [`Engine`] trait.  Stateless per run; use a
+/// [`Session`] directly to reuse generated networks across several queries on
+/// the same model.
+#[derive(Clone, Debug)]
+pub struct TaEngine {
+    /// The analysis configuration (generator options, search options
+    /// including the storage discipline, optional parallel checking, cap
+    /// policy).
+    pub cfg: AnalysisConfig,
+    /// Whether [`Query::WcrtAll`] uses the batched multi-observer network
+    /// (one generation, one exploration for every requirement; default) or
+    /// falls back to one dedicated network per requirement — the latter keeps
+    /// individual state spaces smaller on heavyweight models.
+    pub batch_wcrt_all: bool,
+}
+
+impl Default for TaEngine {
+    fn default() -> Self {
+        TaEngine {
+            cfg: AnalysisConfig::default(),
+            batch_wcrt_all: true,
+        }
+    }
+}
+
+impl TaEngine {
+    /// An engine with the given analysis configuration.
+    pub fn with_config(cfg: AnalysisConfig) -> TaEngine {
+        TaEngine {
+            cfg,
+            ..TaEngine::default()
+        }
+    }
+}
+
+impl Engine for TaEngine {
+    fn name(&self) -> &'static str {
+        "timed-automata"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            bound: BoundKind::Exact,
+            wcrt: true,
+            deadline_check: true,
+            queue_bounds: true,
+        }
+    }
+
+    fn run(
+        &self,
+        model: &ArchitectureModel,
+        query: &Query,
+        ctx: &RunContext,
+    ) -> Result<EngineReport, EngineError> {
+        let mut session = Session::new(model, self.cfg.clone())?;
+        session.set_batch_wcrt_all(self.batch_wcrt_all);
+        session.run(query, ctx)
+    }
+}
+
+/// A stateful analysis handle binding one architecture model.
+///
+/// The session validates the model **once** at construction and caches every
+/// generated timed-automata network, so repeated queries (and multi-query
+/// workflows like a portfolio run followed by per-requirement drill-downs)
+/// never regenerate: a [`Query::WcrtAll`] generates a *single* network with
+/// one measuring observer per requirement and extracts every supremum in one
+/// exploration ([`Session::generations`] counts generator invocations, which
+/// the tests assert).
+pub struct Session<'m> {
+    model: &'m ArchitectureModel,
+    cfg: AnalysisConfig,
+    batch_wcrt_all: bool,
+    generations: Cell<usize>,
+    per_requirement: RefCell<HashMap<String, Rc<GeneratedModel>>>,
+    all_requirements: RefCell<Option<Rc<GeneratedModel>>>,
+    base: RefCell<Option<Rc<GeneratedModel>>>,
+}
+
+impl<'m> Session<'m> {
+    /// Validates the model and opens a session with the given configuration.
+    pub fn new(model: &'m ArchitectureModel, cfg: AnalysisConfig) -> Result<Session<'m>, ArchError> {
+        model.validate()?;
+        Ok(Session {
+            model,
+            cfg,
+            batch_wcrt_all: true,
+            generations: Cell::new(0),
+            per_requirement: RefCell::new(HashMap::new()),
+            all_requirements: RefCell::new(None),
+            base: RefCell::new(None),
+        })
+    }
+
+    /// The model under analysis.
+    pub fn model(&self) -> &ArchitectureModel {
+        self.model
+    }
+
+    /// The analysis configuration in effect.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// Selects the [`Query::WcrtAll`] strategy (see
+    /// [`TaEngine::batch_wcrt_all`]).
+    pub fn set_batch_wcrt_all(&mut self, batch: bool) {
+        self.batch_wcrt_all = batch;
+    }
+
+    /// How many times the session has invoked the generator so far — the
+    /// observable for "the network is generated once and reused".
+    pub fn generations(&self) -> usize {
+        self.generations.get()
+    }
+
+    fn record_generation<T>(&self, generated: T) -> Rc<T> {
+        self.generations.set(self.generations.get() + 1);
+        Rc::new(generated)
+    }
+
+    fn generated_for(&self, req: &Requirement) -> Result<Rc<GeneratedModel>, ArchError> {
+        if let Some(g) = self.per_requirement.borrow().get(&req.name) {
+            return Ok(Rc::clone(g));
+        }
+        let g = self.record_generation(generate(self.model, Some(req), &self.cfg.generator)?);
+        self.per_requirement
+            .borrow_mut()
+            .insert(req.name.clone(), Rc::clone(&g));
+        Ok(g)
+    }
+
+    fn generated_all(&self) -> Result<Rc<GeneratedModel>, ArchError> {
+        if let Some(g) = self.all_requirements.borrow().as_ref() {
+            return Ok(Rc::clone(g));
+        }
+        let g = self.record_generation(generate_measuring(
+            self.model,
+            &self.model.requirements,
+            &self.cfg.generator,
+        )?);
+        *self.all_requirements.borrow_mut() = Some(Rc::clone(&g));
+        Ok(g)
+    }
+
+    fn generated_base(&self) -> Result<Rc<GeneratedModel>, ArchError> {
+        if let Some(g) = self.base.borrow().as_ref() {
+            return Ok(Rc::clone(g));
+        }
+        let g = self.record_generation(generate(self.model, None, &self.cfg.generator)?);
+        *self.base.borrow_mut() = Some(Rc::clone(&g));
+        Ok(g)
+    }
+
+    fn requirement(&self, name: &str) -> Result<Requirement, ArchError> {
+        self.model
+            .requirement_by_name(name)
+            .cloned()
+            .ok_or_else(|| ArchError::UnknownRequirement {
+                name: name.to_string(),
+            })
+    }
+
+    /// The WCRT of one requirement (cached generation, fresh exploration).
+    pub fn wcrt(&self, requirement: &str) -> Result<WcrtReport, ArchError> {
+        self.wcrt_with(requirement, &self.cfg)
+    }
+
+    fn wcrt_with(&self, requirement: &str, cfg: &AnalysisConfig) -> Result<WcrtReport, ArchError> {
+        let req = self.requirement(requirement)?;
+        let generated = self.generated_for(&req)?;
+        analyze_generated(&generated, &req, cfg)
+    }
+
+    /// The WCRTs of every requirement.  With batching enabled (default) this
+    /// generates one multi-observer network and runs **one** exploration for
+    /// all requirements; otherwise it analyses each requirement on its own
+    /// dedicated network.
+    pub fn wcrt_all(&self) -> Result<Vec<WcrtReport>, ArchError> {
+        self.wcrt_all_with(&self.cfg)
+    }
+
+    fn wcrt_all_with(&self, cfg: &AnalysisConfig) -> Result<Vec<WcrtReport>, ArchError> {
+        if !self.batch_wcrt_all {
+            return self
+                .model
+                .requirements
+                .iter()
+                .map(|r| self.wcrt_with(&r.name, cfg))
+                .collect();
+        }
+        if self.model.requirements.is_empty() {
+            return Ok(Vec::new());
+        }
+        let generated = self.generated_all()?;
+        let explorer = Explorer::new(&generated.system, cfg.search.clone())?;
+        let mut queries = Vec::with_capacity(self.model.requirements.len());
+        for (observer, req) in generated.observers.iter().zip(&self.model.requirements) {
+            debug_assert_eq!(observer.requirement, req.name);
+            let target = TargetSpec::location(
+                &generated.system,
+                &observer.automaton,
+                &observer.seen_location,
+            )?;
+            let deadline_ticks = generated.quantizer.to_ticks(req.deadline).max(1);
+            queries.push(SupQuery {
+                target,
+                clock: observer.clock,
+                initial_cap: deadline_ticks.saturating_mul(cfg.initial_cap_factor.max(1)),
+                max_cap: deadline_ticks
+                    .saturating_mul(cfg.max_cap_factor.max(cfg.initial_cap_factor)),
+            });
+        }
+        let sups = match &cfg.parallel {
+            Some(par) => explorer.par_sup_clocks_at_auto(&queries, par)?,
+            None => explorer.sup_clocks_at_auto(&queries)?,
+        };
+        Ok(self
+            .model
+            .requirements
+            .iter()
+            .zip(sups)
+            .map(|(req, sup)| report_from_sup(&generated.quantizer, req, sup))
+            .collect())
+    }
+
+    /// Whether every event queue stays within capacity: `Some(true)` proven
+    /// bounded, `Some(false)` an overflow is reachable, `None` undecided
+    /// (the exploration was truncated by a budget).
+    pub fn queues_bounded(&self) -> Result<Option<bool>, ArchError> {
+        self.queues_bounded_with(&self.cfg)
+    }
+
+    /// Raw form of [`Session::queues_bounded`]: explores the functional
+    /// (observer-free) network and surfaces a reachable overflow as the
+    /// [`ArchError::QueueOverflow`] error, like the historical
+    /// `check_queues_bounded` free function (which shims onto this).
+    pub fn queue_check(&self) -> Result<tempo_check::ExplorationStats, ArchError> {
+        self.queue_check_with(&self.cfg)
+    }
+
+    fn queue_check_with(
+        &self,
+        cfg: &AnalysisConfig,
+    ) -> Result<tempo_check::ExplorationStats, ArchError> {
+        let generated = self.generated_base()?;
+        let explorer = Explorer::new(&generated.system, cfg.search.clone())?;
+        let outcome = match &cfg.parallel {
+            Some(par) => explorer.par_explore(&|_| {}, par),
+            None => explorer.explore(|_| {}),
+        };
+        outcome.map_err(ArchError::from)
+    }
+
+    fn queues_bounded_with(&self, cfg: &AnalysisConfig) -> Result<Option<bool>, ArchError> {
+        match self.queue_check_with(cfg) {
+            Ok(stats) if stats.truncated => Ok(None),
+            Ok(_) => Ok(Some(true)),
+            Err(ArchError::QueueOverflow { .. }) => Ok(Some(false)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The configuration with the run context's budget and hooks applied.
+    fn effective_config(&self, ctx: &RunContext) -> AnalysisConfig {
+        let mut cfg = self.cfg.clone();
+        cfg.search.hook = ctx.search_hook();
+        if let Some(limit) = ctx.budget.max_states {
+            cfg.search.max_states = Some(cfg.search.max_states.map_or(limit, |l| l.min(limit)));
+            cfg.search.truncate_on_limit = true;
+        }
+        cfg
+    }
+
+    /// Answers a typed [`Query`] — the session-level form of
+    /// [`Engine::run`].
+    pub fn run(&self, query: &Query, ctx: &RunContext) -> Result<EngineReport, EngineError> {
+        let started = Instant::now();
+        let cfg = self.effective_config(ctx);
+        let (estimates, verdict, states_stored) = match query {
+            Query::Wcrt { requirement } => {
+                let report = self.wcrt_with(requirement, &cfg)?;
+                let states = report.stats.states_stored;
+                (
+                    vec![RequirementEstimate::from_wcrt(&report)],
+                    None,
+                    Some(states),
+                )
+            }
+            Query::Supremum { requirement } => {
+                let report = self.wcrt_with(requirement, &cfg)?;
+                let states = report.stats.states_stored;
+                let mut estimate = RequirementEstimate::from_wcrt(&report);
+                estimate.meets_deadline = None;
+                (vec![estimate], None, Some(states))
+            }
+            Query::DeadlineCheck { requirement } => {
+                let report = self.wcrt_with(requirement, &cfg)?;
+                let states = report.stats.states_stored;
+                let verdict = report.meets_deadline;
+                (
+                    vec![RequirementEstimate::from_wcrt(&report)],
+                    verdict,
+                    Some(states),
+                )
+            }
+            Query::WcrtAll => {
+                let reports = self.wcrt_all_with(&cfg)?;
+                let states = reports.iter().map(|r| r.stats.states_stored).max();
+                (
+                    reports.iter().map(RequirementEstimate::from_wcrt).collect(),
+                    None,
+                    states,
+                )
+            }
+            Query::QueueBounds => {
+                let verdict = self.queues_bounded_with(&cfg)?;
+                (Vec::new(), verdict, None)
+            }
+        };
+        Ok(EngineReport {
+            engine: "timed-automata".into(),
+            query: query.clone(),
+            estimates,
+            verdict,
+            wall_time: started.elapsed(),
+            states_stored,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio
+// ---------------------------------------------------------------------------
+
+/// One engine's raw outcome within a [`ComparisonReport`].
+#[derive(Debug)]
+pub struct EngineRow {
+    /// The engine's [`Engine::name`].
+    pub engine: String,
+    /// The kind of bound the engine advertises.
+    pub bound: BoundKind,
+    /// The run result (engines that declined or failed keep their error so
+    /// the comparison stays auditable).
+    pub outcome: Result<EngineReport, EngineError>,
+}
+
+/// The reconciled cross-engine answer for one requirement.
+#[derive(Clone, Debug)]
+pub struct RequirementComparison {
+    /// Requirement name.
+    pub requirement: String,
+    /// The requirement's deadline.
+    pub deadline: TimeValue,
+    /// `(engine name, estimate)` of every engine that answered.
+    pub estimates: Vec<(String, Estimate)>,
+    /// The intersection of all consistent estimates (the exact value when an
+    /// exact engine ran; the tightest bracket otherwise).
+    pub reconciled: Estimate,
+    /// Reconciled deadline verdict.
+    pub meets_deadline: Option<bool>,
+    /// Human-readable descriptions of every bracket violation (a lower bound
+    /// exceeding an upper bound beyond the tolerance) — empty when the
+    /// paper's `sim ≤ exact ≤ analytic` invariant holds.
+    pub violations: Vec<String>,
+}
+
+/// The result of a [`Portfolio`] run: per-engine rows plus the reconciled
+/// per-requirement bracket — Tables 1/2 of the paper as a data structure.
+#[derive(Debug)]
+pub struct ComparisonReport {
+    /// The query compared.
+    pub query: Query,
+    /// The tolerance used for bracket checks.
+    pub tolerance: TimeValue,
+    /// One row per portfolio engine.
+    pub rows: Vec<EngineRow>,
+    /// Reconciled estimates, one per requirement covered by the query.
+    pub requirements: Vec<RequirementComparison>,
+    /// Reconciled verdict for verdict queries ([`Query::DeadlineCheck`],
+    /// [`Query::QueueBounds`]).
+    pub verdict: Option<bool>,
+}
+
+impl ComparisonReport {
+    /// `true` iff no requirement shows a bracket violation.
+    pub fn bracket_ok(&self) -> bool {
+        self.requirements.iter().all(|r| r.violations.is_empty())
+    }
+
+    /// All bracket violations across requirements.
+    pub fn violations(&self) -> Vec<&str> {
+        self.requirements
+            .iter()
+            .flat_map(|r| r.violations.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// The reconciled comparison for `requirement`.
+    pub fn for_requirement(&self, requirement: &str) -> Option<&RequirementComparison> {
+        self.requirements.iter().find(|r| r.requirement == requirement)
+    }
+}
+
+impl fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "portfolio comparison — query {}", self.query)?;
+        for row in &self.rows {
+            match &row.outcome {
+                Ok(report) => writeln!(
+                    f,
+                    "  {:<16} [{:?} bounds] answered in {:.2?}{}",
+                    row.engine,
+                    row.bound,
+                    report.wall_time,
+                    report
+                        .states_stored
+                        .map(|s| format!(", {s} symbolic states"))
+                        .unwrap_or_default(),
+                )?,
+                Err(e) => writeln!(f, "  {:<16} did not answer: {e}", row.engine)?,
+            }
+        }
+        for req in &self.requirements {
+            writeln!(f, "  {} (deadline {}):", req.requirement, req.deadline)?;
+            for (engine, estimate) in &req.estimates {
+                writeln!(f, "    {engine:<16} {estimate}")?;
+            }
+            writeln!(f, "    {:<16} {}", "reconciled", req.reconciled)?;
+            for violation in &req.violations {
+                writeln!(f, "    BRACKET VIOLATION: {violation}")?;
+            }
+        }
+        if let Some(v) = self.verdict {
+            writeln!(f, "  verdict: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A meta-engine fanning a query across several member engines and
+/// reconciling their answers, asserting the paper's bracket invariant
+/// (`simulation ≤ exact ≤ SymTA/S ≈ MPA`) along the way.
+pub struct Portfolio {
+    engines: Vec<Box<dyn Engine>>,
+    /// Slack allowed in bracket checks (quantization of exact results vs.
+    /// float/ceiling arithmetic in the baselines).  Default: 1 µs.
+    pub tolerance: TimeValue,
+    /// When `true`, a bracket violation turns the run into an
+    /// [`EngineError::Internal`] instead of a reported violation.
+    pub fail_on_violation: bool,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio {
+            engines: Vec::new(),
+            tolerance: TimeValue::micros(1),
+            fail_on_violation: false,
+        }
+    }
+}
+
+impl Portfolio {
+    /// An empty portfolio; add engines with [`Portfolio::with_engine`].
+    pub fn new() -> Portfolio {
+        Portfolio::default()
+    }
+
+    /// Adds an engine (builder style).
+    pub fn with_engine(mut self, engine: Box<dyn Engine>) -> Portfolio {
+        self.engines.push(engine);
+        self
+    }
+
+    /// Adds an engine.
+    pub fn push(&mut self, engine: Box<dyn Engine>) {
+        self.engines.push(engine);
+    }
+
+    /// The member engines' names, in run order.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Fans `query` across every member engine and reconciles the answers.
+    ///
+    /// Engines whose [`Capabilities`] do not cover the query, or that decline
+    /// at run time ([`EngineError::Unsupported`]), are recorded but excluded
+    /// from reconciliation.  Fails only when *no* engine produced an answer
+    /// or (with [`Portfolio::fail_on_violation`]) when the bracket invariant
+    /// breaks.
+    pub fn compare(
+        &self,
+        model: &ArchitectureModel,
+        query: &Query,
+        ctx: &RunContext,
+    ) -> Result<ComparisonReport, EngineError> {
+        let mut rows: Vec<EngineRow> = Vec::with_capacity(self.engines.len());
+        for engine in &self.engines {
+            let capabilities = engine.capabilities();
+            let outcome = if capabilities.supports(query) {
+                engine.run(model, query, ctx)
+            } else {
+                Err(EngineError::Unsupported {
+                    engine: engine.name().into(),
+                    detail: format!("query {query} outside the engine's capabilities"),
+                })
+            };
+            rows.push(EngineRow {
+                engine: engine.name().into(),
+                bound: capabilities.bound,
+                outcome,
+            });
+        }
+        if let Some(cancelled) = rows
+            .iter()
+            .find(|r| matches!(r.outcome, Err(EngineError::Cancelled)))
+        {
+            let _ = cancelled;
+            return Err(EngineError::Cancelled);
+        }
+        if !rows.iter().any(|r| r.outcome.is_ok()) {
+            // Surface the most informative failure: prefer anything over
+            // `Unsupported`.
+            let best = rows
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().err())
+                .find(|e| !matches!(e, EngineError::Unsupported { .. }))
+                .or_else(|| rows.iter().filter_map(|r| r.outcome.as_ref().err()).next());
+            return Err(best.cloned().unwrap_or(EngineError::Internal(
+                "portfolio has no engines".into(),
+            )));
+        }
+
+        // Requirement names, in the order the first successful engine reports
+        // them.
+        let mut names: Vec<String> = Vec::new();
+        for row in &rows {
+            if let Ok(report) = &row.outcome {
+                for estimate in &report.estimates {
+                    if !names.contains(&estimate.requirement) {
+                        names.push(estimate.requirement.clone());
+                    }
+                }
+            }
+        }
+        let requirements: Vec<RequirementComparison> = names
+            .iter()
+            .map(|name| self.reconcile(name, &rows))
+            .collect();
+
+        // Verdict queries: engines answer soundly in one direction each, so
+        // agreement is the union of the directions; a hard conflict is a
+        // bracket violation in verdict form.
+        let verdicts: Vec<bool> = rows
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .filter_map(|r| r.verdict)
+            .collect();
+        let verdict = match (verdicts.iter().any(|v| *v), verdicts.iter().any(|v| !*v)) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            _ => None,
+        };
+
+        let report = ComparisonReport {
+            query: query.clone(),
+            tolerance: self.tolerance,
+            rows,
+            requirements,
+            verdict,
+        };
+        if self.fail_on_violation && !report.bracket_ok() {
+            return Err(EngineError::Internal(format!(
+                "bracket invariant violated: {}",
+                report.violations().join("; ")
+            )));
+        }
+        Ok(report)
+    }
+
+    fn reconcile(&self, requirement: &str, rows: &[EngineRow]) -> RequirementComparison {
+        let mut estimates: Vec<(String, Estimate)> = Vec::new();
+        let mut deadline: Option<TimeValue> = None;
+        let mut meets: Vec<(String, bool)> = Vec::new();
+        for row in rows {
+            if let Ok(report) = &row.outcome {
+                if let Some(e) = report.estimate_for(requirement) {
+                    estimates.push((row.engine.clone(), e.estimate));
+                    deadline.get_or_insert(e.deadline);
+                    if let Some(v) = e.meets_deadline {
+                        meets.push((row.engine.clone(), v));
+                    }
+                }
+            }
+        }
+        let mut violations: Vec<String> = Vec::new();
+        for i in 0..estimates.len() {
+            for j in (i + 1)..estimates.len() {
+                let (ref a_name, a) = estimates[i];
+                let (ref b_name, b) = estimates[j];
+                if !a.consistent_with(b, self.tolerance) {
+                    violations.push(format!(
+                        "{requirement}: {a_name} {a} contradicts {b_name} {b}"
+                    ));
+                }
+            }
+        }
+        let mut reconciled = estimates
+            .first()
+            .map(|(_, e)| *e)
+            .expect("reconcile called only for reported requirements");
+        for (_, estimate) in estimates.iter().skip(1) {
+            // Contradictions are already recorded as violations; keep the
+            // running reconciliation rather than poisoning it.
+            if let Some(r) = reconciled.refined_with(*estimate) {
+                reconciled = r;
+            }
+        }
+        let meets_deadline = match (
+            meets.iter().any(|(_, v)| *v),
+            meets.iter().any(|(_, v)| !*v),
+        ) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            (true, true) => {
+                violations.push(format!(
+                    "{requirement}: engines disagree on the deadline verdict ({meets:?})"
+                ));
+                None
+            }
+            (false, false) => None,
+        };
+        RequirementComparison {
+            requirement: requirement.to_string(),
+            deadline: deadline.unwrap_or(TimeValue::ZERO),
+            estimates,
+            reconciled,
+            meets_deadline,
+            violations,
+        }
+    }
+}
+
+impl Engine for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        let mut caps = Capabilities {
+            bound: BoundKind::Mixed,
+            wcrt: false,
+            deadline_check: false,
+            queue_bounds: false,
+        };
+        for engine in &self.engines {
+            let c = engine.capabilities();
+            caps.wcrt |= c.wcrt;
+            caps.deadline_check |= c.deadline_check;
+            caps.queue_bounds |= c.queue_bounds;
+        }
+        caps
+    }
+
+    fn run(
+        &self,
+        model: &ArchitectureModel,
+        query: &Query,
+        ctx: &RunContext,
+    ) -> Result<EngineReport, EngineError> {
+        let started = Instant::now();
+        let comparison = self.compare(model, query, ctx)?;
+        Ok(EngineReport {
+            engine: "portfolio".into(),
+            query: query.clone(),
+            estimates: comparison
+                .requirements
+                .iter()
+                .map(|r| RequirementEstimate {
+                    requirement: r.requirement.clone(),
+                    estimate: r.reconciled,
+                    deadline: r.deadline,
+                    meets_deadline: r.meets_deadline,
+                })
+                .collect(),
+            verdict: comparison.verdict,
+            wall_time: started.elapsed(),
+            states_stored: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EventModel, MeasurePoint, Scenario, SchedulingPolicy, Step};
+
+    fn two_task_model() -> ArchitectureModel {
+        let mut m = ArchitectureModel::new("engine-test");
+        let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityPreemptive);
+        let hi = m.add_scenario(Scenario {
+            name: "hi".into(),
+            stimulus: EventModel::Sporadic {
+                min_interarrival: TimeValue::millis(20),
+            },
+            priority: 0,
+            steps: vec![Step::Execute {
+                operation: "short".into(),
+                instructions: 2_000,
+                on: cpu,
+            }],
+        });
+        let lo = m.add_scenario(Scenario {
+            name: "lo".into(),
+            stimulus: EventModel::Sporadic {
+                min_interarrival: TimeValue::millis(50),
+            },
+            priority: 1,
+            steps: vec![Step::Execute {
+                operation: "long".into(),
+                instructions: 10_000,
+                on: cpu,
+            }],
+        });
+        m.add_requirement(Requirement {
+            name: "hi-rt".into(),
+            scenario: hi,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(0),
+            deadline: TimeValue::millis(20),
+        });
+        m.add_requirement(Requirement {
+            name: "lo-rt".into(),
+            scenario: lo,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(0),
+            deadline: TimeValue::millis(50),
+        });
+        m
+    }
+
+    #[test]
+    fn estimate_bounds_and_refinement() {
+        let e = Estimate::Exact(TimeValue::millis(12));
+        let lb = Estimate::LowerBound(TimeValue::millis(11));
+        let ub = Estimate::UpperBound(TimeValue::millis(14));
+        assert_eq!(e.lower(), e.upper());
+        assert!(e.is_exact());
+        assert_eq!(lb.upper(), None);
+        assert_eq!(ub.lower(), None);
+        // Refinement tightens toward the exact value.
+        assert_eq!(lb.refined_with(ub), Some(Estimate::Interval {
+            lo: TimeValue::millis(11),
+            hi: TimeValue::millis(14),
+        }));
+        assert_eq!(lb.refined_with(e), Some(e));
+        assert_eq!(ub.refined_with(e), Some(e));
+        // Contradictions are detected.
+        let too_low = Estimate::UpperBound(TimeValue::millis(10));
+        assert_eq!(lb.refined_with(too_low), None);
+        assert!(!lb.consistent_with(too_low, TimeValue::ZERO));
+        assert!(lb.consistent_with(too_low, TimeValue::millis(1)));
+        assert!(lb.consistent_with(ub, TimeValue::ZERO));
+        // Display is the one formatting convention.
+        assert_eq!(e.to_string(), "= 12.000ms");
+        assert_eq!(lb.to_string(), "\u{2265} 11.000ms");
+        assert_eq!(ub.to_string(), "\u{2264} 14.000ms");
+    }
+
+    #[test]
+    fn session_batches_wcrt_all_into_one_generation() {
+        let model = two_task_model();
+        let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+        let batched = session.wcrt_all().unwrap();
+        assert_eq!(session.generations(), 1, "WcrtAll must generate once");
+        assert_eq!(batched.len(), 2);
+        // Re-running any WCRT query reuses caches; only the dedicated
+        // per-requirement network adds one more generation.
+        let again = session.wcrt_all().unwrap();
+        assert_eq!(session.generations(), 1);
+        let single = session.wcrt("hi-rt").unwrap();
+        assert_eq!(session.generations(), 2);
+        let _ = session.wcrt("hi-rt").unwrap();
+        assert_eq!(session.generations(), 2);
+        // The batched multi-observer extraction is exact: it agrees with the
+        // dedicated single-observer analysis.
+        assert_eq!(batched[0].wcrt, single.wcrt);
+        assert_eq!(again[1].wcrt, batched[1].wcrt);
+        assert_eq!(batched[0].wcrt, Some(TimeValue::millis(2)));
+        assert_eq!(batched[1].wcrt, Some(TimeValue::millis(12)));
+    }
+
+    #[test]
+    fn session_answers_typed_queries() {
+        let model = two_task_model();
+        let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+        let ctx = RunContext::default();
+        let wcrt = session.run(&Query::wcrt("hi-rt"), &ctx).unwrap();
+        assert_eq!(wcrt.estimates.len(), 1);
+        assert_eq!(
+            wcrt.estimates[0].estimate,
+            Estimate::Exact(TimeValue::millis(2))
+        );
+        let deadline = session.run(&Query::deadline_check("lo-rt"), &ctx).unwrap();
+        assert_eq!(deadline.verdict, Some(true));
+        let queues = session.run(&Query::QueueBounds, &ctx).unwrap();
+        assert_eq!(queues.verdict, Some(true));
+        let unknown = session.run(&Query::wcrt("nope"), &ctx);
+        assert!(matches!(unknown, Err(EngineError::UnknownRequirement(_))));
+    }
+
+    #[test]
+    fn wall_clock_budget_yields_well_formed_lower_bound() {
+        let model = two_task_model();
+        let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+        let ctx = RunContext::with_wall_clock(Duration::ZERO);
+        let report = session.run(&Query::wcrt("hi-rt"), &ctx).unwrap();
+        // Nothing useful was explored, but the answer is a well-formed lower
+        // bound rather than an error.
+        assert!(matches!(
+            report.estimates[0].estimate,
+            Estimate::LowerBound(_)
+        ));
+        // A generous budget yields the exact value.
+        let ctx = RunContext::with_wall_clock(Duration::from_secs(60));
+        let report = session.run(&Query::wcrt("hi-rt"), &ctx).unwrap();
+        assert_eq!(
+            report.estimates[0].estimate,
+            Estimate::Exact(TimeValue::millis(2))
+        );
+    }
+
+    #[test]
+    fn cancellation_maps_to_engine_error() {
+        let model = two_task_model();
+        let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+        let ctx = RunContext {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            ..RunContext::default()
+        };
+        assert!(ctx.is_cancelled());
+        let err = session.run(&Query::wcrt("hi-rt"), &ctx).unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled));
+    }
+
+    #[test]
+    fn ta_engine_capabilities_and_run() {
+        let model = two_task_model();
+        let engine = TaEngine::default();
+        assert_eq!(engine.name(), "timed-automata");
+        assert!(engine.capabilities().supports(&Query::WcrtAll));
+        assert!(engine.capabilities().supports(&Query::QueueBounds));
+        let report = engine
+            .run(&model, &Query::WcrtAll, &RunContext::default())
+            .unwrap();
+        assert_eq!(report.estimates.len(), 2);
+        assert!(report.estimates.iter().all(|e| e.estimate.is_exact()));
+        assert!(report.states_stored.unwrap() > 0);
+    }
+
+    #[test]
+    fn portfolio_reconciles_and_checks_brackets() {
+        /// A fake engine returning a fixed estimate for every requirement.
+        struct Fixed(&'static str, BoundKind, Estimate);
+        impl Engine for Fixed {
+            fn name(&self) -> &'static str {
+                self.0
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities {
+                    bound: self.1,
+                    wcrt: true,
+                    deadline_check: false,
+                    queue_bounds: false,
+                }
+            }
+            fn run(
+                &self,
+                model: &ArchitectureModel,
+                query: &Query,
+                _ctx: &RunContext,
+            ) -> Result<EngineReport, EngineError> {
+                Ok(EngineReport {
+                    engine: self.0.into(),
+                    query: query.clone(),
+                    estimates: model
+                        .requirements
+                        .iter()
+                        .map(|r| RequirementEstimate {
+                            requirement: r.name.clone(),
+                            estimate: self.2,
+                            deadline: r.deadline,
+                            meets_deadline: None,
+                        })
+                        .collect(),
+                    verdict: None,
+                    wall_time: Duration::ZERO,
+                    states_stored: None,
+                })
+            }
+        }
+
+        let model = two_task_model();
+        let lo = Estimate::LowerBound(TimeValue::millis(10));
+        let hi = Estimate::UpperBound(TimeValue::millis(14));
+        let portfolio = Portfolio::new()
+            .with_engine(Box::new(Fixed("low", BoundKind::Lower, lo)))
+            .with_engine(Box::new(Fixed("high", BoundKind::Upper, hi)));
+        let report = portfolio
+            .compare(&model, &Query::WcrtAll, &RunContext::default())
+            .unwrap();
+        assert!(report.bracket_ok());
+        assert_eq!(report.requirements.len(), 2);
+        assert_eq!(
+            report.requirements[0].reconciled,
+            Estimate::Interval {
+                lo: TimeValue::millis(10),
+                hi: TimeValue::millis(14),
+            }
+        );
+        // A contradicting engine is caught by the bracket check.
+        let broken = Portfolio::new()
+            .with_engine(Box::new(Fixed("low", BoundKind::Lower, lo)))
+            .with_engine(Box::new(Fixed(
+                "wrong",
+                BoundKind::Upper,
+                Estimate::UpperBound(TimeValue::millis(5)),
+            )));
+        let report = broken
+            .compare(&model, &Query::WcrtAll, &RunContext::default())
+            .unwrap();
+        assert!(!report.bracket_ok());
+        assert!(!report.violations().is_empty());
+        let mut strict = Portfolio::new()
+            .with_engine(Box::new(Fixed("low", BoundKind::Lower, lo)))
+            .with_engine(Box::new(Fixed(
+                "wrong",
+                BoundKind::Upper,
+                Estimate::UpperBound(TimeValue::millis(5)),
+            )));
+        strict.fail_on_violation = true;
+        assert!(strict
+            .compare(&model, &Query::WcrtAll, &RunContext::default())
+            .is_err());
+    }
+}

@@ -57,6 +57,7 @@
 
 pub mod analysis;
 pub mod casestudy;
+pub mod engine;
 pub mod explore;
 pub mod generator;
 pub mod model;
@@ -67,13 +68,17 @@ pub use analysis::{
     analyze_all, analyze_generated, analyze_requirement, analyze_requirement_binary_search,
     check_queues_bounded, AnalysisConfig, ArchError, WcrtReport,
 };
+pub use engine::{
+    BoundKind, Budget, Capabilities, ComparisonReport, Engine, EngineError, EngineReport,
+    Estimate, Portfolio, Query, RequirementEstimate, RunContext, Session, TaEngine,
+};
 pub use explore::{DesignPoint, Sweep, SweepOutcome, SweepRow};
-pub use generator::{generate, GeneratedModel, GeneratorOptions, ObserverRefs};
+pub use generator::{generate, generate_measuring, GeneratedModel, GeneratorOptions, ObserverRefs};
 pub use model::{
     ArchitectureModel, Bus, BusArbitration, BusId, EventModel, MeasurePoint, ModelError,
     Processor, ProcessorId, Requirement, Scenario, ScenarioId, SchedulingPolicy, Step,
 };
-pub use tempo_check::{ParallelOptions, SearchOptions, StorageKind};
+pub use tempo_check::{ParallelOptions, SearchHook, SearchOptions, SearchProgress, StorageKind};
 pub use time::{Quantizer, TimeValue};
 pub use transform::fragment_transfers;
 
@@ -86,6 +91,9 @@ pub mod prelude {
     pub use crate::casestudy::{
         radio_navigation, radio_navigation_variant, ArchitectureVariant, CaseStudyParams,
         EventModelColumn, ScenarioCombo,
+    };
+    pub use crate::engine::{
+        Engine, EngineReport, Estimate, Portfolio, Query, RunContext, Session, TaEngine,
     };
     pub use crate::generator::{generate, GeneratorOptions};
     pub use crate::model::{

@@ -2,6 +2,7 @@
 
 use crate::component::GreedyProcessingComponent;
 use crate::curves::{ArrivalCurve, ServiceCurve};
+use tempo_arch::engine::Estimate;
 use tempo_arch::model::{
     ArchitectureModel, MeasurePoint, SchedulingPolicy, Step,
 };
@@ -21,9 +22,22 @@ pub struct RtcReport {
 }
 
 impl RtcReport {
-    /// The bound in milliseconds.
+    /// The bound as a typed [`Estimate`]: MPA always produces conservative
+    /// upper bounds.
+    pub fn estimate(&self) -> Estimate {
+        Estimate::UpperBound(self.wcrt_bound)
+    }
+
+    /// The bound in milliseconds (routed through
+    /// [`Estimate::as_millis_f64`], the shared conversion path).
     pub fn wcrt_ms(&self) -> f64 {
-        self.wcrt_bound.as_millis_f64()
+        self.estimate().as_millis_f64()
+    }
+}
+
+impl std::fmt::Display for RtcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: WCRT {}", self.requirement, self.estimate())
     }
 }
 

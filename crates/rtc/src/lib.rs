@@ -29,7 +29,9 @@
 mod curves;
 mod component;
 mod analysis;
+mod engine;
 
 pub use analysis::{analyze_all, analyze_requirement, RtcError, RtcReport};
 pub use component::GreedyProcessingComponent;
 pub use curves::{ArrivalCurve, ServiceCurve};
+pub use engine::RtcEngine;

@@ -43,9 +43,32 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Largest observed response time in milliseconds.
+    /// The observation as a typed [`tempo_arch::engine::Estimate`]: a
+    /// simulation witnesses *some* schedules, so its maximum is a lower bound
+    /// on the true worst case (rounded to the nearest nanosecond to fit the
+    /// exact-rational time domain).
+    pub fn estimate(&self) -> tempo_arch::engine::Estimate {
+        let ns = (self.max_response_us * 1_000.0).round().max(0.0) as i128;
+        tempo_arch::engine::Estimate::LowerBound(TimeValue::ratio_us(ns, 1_000))
+    }
+
+    /// Largest observed response time in milliseconds (routed through
+    /// [`Estimate::as_millis_f64`](tempo_arch::engine::Estimate::as_millis_f64),
+    /// the shared conversion path).
     pub fn max_response_ms(&self) -> f64 {
-        self.max_response_us / 1_000.0
+        self.estimate().as_millis_f64()
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: WCRT {} ({} observations)",
+            self.requirement,
+            self.estimate(),
+            self.observations
+        )
     }
 }
 

@@ -17,9 +17,11 @@
 
 mod engine;
 mod generator;
+mod sim_engine;
 
-pub use engine::{simulate, SimConfig, SimReport};
+pub use engine::{simulate, SimConfig, SimError, SimReport};
 pub use generator::StimulusGenerator;
+pub use sim_engine::SimEngine;
 
 #[cfg(test)]
 mod tests {

@@ -26,8 +26,10 @@ use tempo_arch::time::TimeValue;
 
 mod event_model;
 mod busy_window;
+mod engine;
 
 pub use busy_window::{response_time_bound, ResourceKind, TaskParams};
+pub use engine::SymtaEngine;
 pub use event_model::StandardEventModel;
 
 /// The result of a SymTA/S-style end-to-end analysis of one requirement.
@@ -44,9 +46,23 @@ pub struct SymtaReport {
 }
 
 impl SymtaReport {
-    /// The bound in milliseconds.
+    /// The bound as a typed [`tempo_arch::engine::Estimate`]: the busy-window
+    /// analysis always produces conservative upper bounds.
+    pub fn estimate(&self) -> tempo_arch::engine::Estimate {
+        tempo_arch::engine::Estimate::UpperBound(self.wcrt_bound)
+    }
+
+    /// The bound in milliseconds (routed through
+    /// [`Estimate::as_millis_f64`](tempo_arch::engine::Estimate::as_millis_f64),
+    /// the shared conversion path).
     pub fn wcrt_ms(&self) -> f64 {
-        self.wcrt_bound.as_millis_f64()
+        self.estimate().as_millis_f64()
+    }
+}
+
+impl std::fmt::Display for SymtaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: WCRT {}", self.requirement, self.estimate())
     }
 }
 

@@ -1,6 +1,10 @@
 //! Design-space exploration example: how the scheduling policy of the
 //! processors changes the worst-case response times of the radio-navigation
-//! case study (the Fig. 4 vs. Fig. 5 modeling choice of the paper).
+//! case study (the Fig. 4 vs. Fig. 5 modeling choice of the paper) — driven
+//! through the unified engine API: one [`Session`] per candidate
+//! architecture, typed [`Query`]s, and a state budget carried by the
+//! [`RunContext`] so intractable corners degrade to lower bounds instead of
+//! failing.
 //!
 //! ```text
 //! cargo run --release --example scheduler_comparison
@@ -8,23 +12,13 @@
 
 use tempo::arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
 use tempo::arch::prelude::*;
-use tempo::check::{SearchOptions, SearchOrder};
 
 fn main() {
     // The AddressLookup + HandleTMC combination keeps the state spaces small
     // enough to compare several scheduling policies in seconds.
     let combo = ScenarioCombo::AddressLookupWithTmc;
     let column = EventModelColumn::Sporadic;
-
-    let cfg = AnalysisConfig {
-        search: SearchOptions {
-            order: SearchOrder::Bfs,
-            max_states: Some(400_000),
-            truncate_on_limit: true,
-            ..SearchOptions::default()
-        },
-        ..AnalysisConfig::default()
-    };
+    let ctx = RunContext::with_max_states(400_000);
 
     println!("Scheduling-policy exploration on the radio navigation case study");
     println!("({combo:?}, {} event streams)\n", column.label());
@@ -40,16 +34,19 @@ fn main() {
     ] {
         let params = CaseStudyParams::default().with_policy(policy);
         let model = radio_navigation(combo, column, &params);
+        let session = match Session::new(&model, AnalysisConfig::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{:<34} invalid model: {e}", format!("{policy:?}"));
+                continue;
+            }
+        };
         let mut cells = Vec::new();
         for requirement in ["AddressLookup (+ HandleTMC)", "HandleTMC (+ AddressLookup)"] {
-            let cell = match analyze_requirement(&model, requirement, &cfg) {
-                Ok(r) => match r.wcrt_ms() {
-                    Some(ms) => format!("{ms:.3}"),
-                    None => r
-                        .lower_bound
-                        .map(|lb| format!("> {:.3}", lb.as_millis_f64()))
-                        .unwrap_or_else(|| "n/a".into()),
-                },
+            let cell = match session.run(&Query::wcrt(requirement), &ctx) {
+                // One formatting convention for every estimate kind:
+                // "= 79.075" exact, "≥ 61.921" truncated lower bound.
+                Ok(report) => report.estimates[0].estimate.to_string(),
                 Err(e) => format!("error: {e}"),
             };
             cells.push(cell);

@@ -1,12 +1,14 @@
 //! Compares the four analysis techniques on the same architecture model —
-//! the Section 5 experiment of the paper, on a single requirement:
+//! the Section 5 experiment of the paper, on a single requirement — through
+//! the unified engine API: one [`Portfolio`] fans the query across
 //!
 //! * exact timed-automata analysis (`tempo-arch` + `tempo-check`),
 //! * discrete-event simulation (`tempo-sim`, POOSL stand-in),
 //! * SymTA/S-style busy-window analysis (`tempo-symta`),
-//! * MPA / real-time calculus (`tempo-rtc`).
+//! * MPA / real-time calculus (`tempo-rtc`),
 //!
-//! The expected relationship is `simulation ≤ exact ≤ SymTA/S ≈ MPA`.
+//! checks the paper's bracket invariant `simulation ≤ exact ≤ SymTA/S ≈ MPA`
+//! and reconciles the answers into a single typed estimate.
 //!
 //! ```text
 //! cargo run --release --example technique_comparison
@@ -14,7 +16,9 @@
 
 use tempo::arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
 use tempo::arch::prelude::*;
-use tempo::sim::{simulate, SimConfig};
+use tempo::engine::{Portfolio, SimEngine, SymtaEngine, TaEngine};
+use tempo::rtc::RtcEngine;
+use tempo::sim::SimConfig;
 
 fn main() {
     let params = CaseStudyParams::default();
@@ -26,54 +30,40 @@ fn main() {
     let requirement = "HandleTMC (+ AddressLookup)";
     println!("Requirement under analysis: {requirement}\n");
 
-    let t0 = std::time::Instant::now();
-    let exact = analyze_requirement(&model, requirement, &AnalysisConfig::default())
-        .expect("timed-automata analysis succeeds");
-    println!(
-        "timed automata (exact)     : {:>9.3} ms   [{} symbolic states, {:.2?}]",
-        exact.wcrt_ms().unwrap_or(f64::NAN),
-        exact.stats.states_stored,
-        t0.elapsed()
-    );
+    // The standard line-up (`tempo::engine::standard_portfolio()`), with the
+    // simulation campaign tuned to the paper's 10 runs x 10 min of model
+    // time.
+    let portfolio = Portfolio::new()
+        .with_engine(Box::new(TaEngine::default()))
+        .with_engine(Box::new(SimEngine::with_config(SimConfig {
+            horizon: TimeValue::seconds(600),
+            runs: 10,
+            seed: 42,
+        })))
+        .with_engine(Box::new(SymtaEngine))
+        .with_engine(Box::new(RtcEngine));
 
-    let t0 = std::time::Instant::now();
-    let sim_cfg = SimConfig {
-        horizon: TimeValue::seconds(600),
-        runs: 10,
-        seed: 42,
-    };
-    let sim = simulate(&model, &sim_cfg).expect("simulation succeeds");
-    let sim_value = sim
-        .iter()
-        .find(|r| r.requirement == requirement)
-        .map(|r| r.max_response_ms())
-        .unwrap_or(f64::NAN);
-    println!(
-        "discrete-event simulation  : {:>9.3} ms   [10 runs x 10 min, {:.2?}]  (lower bound)",
-        sim_value,
-        t0.elapsed()
-    );
+    let comparison = portfolio
+        .compare(&model, &Query::wcrt(requirement), &RunContext::default())
+        .expect("at least one engine answers");
 
-    let t0 = std::time::Instant::now();
-    let symta = tempo::symta::analyze_requirement(&model, requirement).expect("symta succeeds");
-    println!(
-        "SymTA/S-style busy window  : {:>9.3} ms   [{} iterations, {:.2?}]  (upper bound)",
-        symta.wcrt_ms(),
-        symta.iterations,
-        t0.elapsed()
-    );
-
-    let t0 = std::time::Instant::now();
-    let mpa = tempo::rtc::analyze_requirement(&model, requirement).expect("rtc succeeds");
-    println!(
-        "MPA / real-time calculus   : {:>9.3} ms   [max backlog {:.0} events, {:.2?}]  (upper bound)",
-        mpa.wcrt_ms(),
-        mpa.max_backlog,
-        t0.elapsed()
-    );
-
+    print!("{comparison}");
     println!();
-    let exact_ms = exact.wcrt_ms().unwrap_or(f64::NAN);
-    println!("sanity: simulation ({sim_value:.3}) ≤ exact ({exact_ms:.3}) ≤ analytic bounds ({:.3}, {:.3})",
-        symta.wcrt_ms(), mpa.wcrt_ms());
+
+    let reconciled = &comparison.requirements[0];
+    println!(
+        "reconciled estimate: {}  (deadline {}, bracket {})",
+        reconciled.reconciled,
+        reconciled.deadline,
+        if comparison.bracket_ok() {
+            "holds: simulation \u{2264} exact \u{2264} analytic bounds"
+        } else {
+            "VIOLATED"
+        }
+    );
+    assert!(
+        comparison.bracket_ok(),
+        "bracket violations: {:?}",
+        comparison.violations()
+    );
 }

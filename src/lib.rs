@@ -2,22 +2,31 @@
 //!
 //! `tempo` is a reproduction of Hendriks & Verhoef, *Timed Automata Based
 //! Analysis of Embedded System Architectures* (IPPS 2006), built as a family
-//! of crates:
+//! of crates behind one **unified engine API** ([`tempo_arch::engine`]):
 //!
-//! | crate | contents |
-//! |-------|----------|
-//! | [`tempo_dbm`]   | difference bound matrices (zones) |
-//! | [`tempo_ta`]    | networks of timed automata with bounded integers, urgent/broadcast channels and committed locations |
-//! | [`tempo_check`] | UPPAAL-style zone-graph model checker (reachability, safety, WCRT) |
-//! | [`tempo_arch`]  | the paper's contribution: architecture models → timed automata → exact worst-case response times |
-//! | [`tempo_rtc`]   | Modular Performance Analysis / real-time calculus baseline |
-//! | [`tempo_symta`] | SymTA/S-style compositional busy-window analysis baseline |
-//! | [`tempo_sim`]   | discrete-event simulation baseline (POOSL/SHESIM stand-in) |
+//! | crate | contents | engine |
+//! |-------|----------|--------|
+//! | [`tempo_dbm`]   | difference bound matrices (zones) | — |
+//! | [`tempo_ta`]    | networks of timed automata with bounded integers, urgent/broadcast channels and committed locations | — |
+//! | [`tempo_check`] | UPPAAL-style zone-graph model checker (reachability, safety, batched WCRT suprema, budget/cancel hooks) | — |
+//! | [`tempo_arch`]  | the paper's contribution: architecture models → timed automata → exact WCRTs; the [`Query`](arch::engine::Query)/[`Engine`](arch::engine::Engine)/[`Session`](arch::engine::Session)/[`Portfolio`](arch::engine::Portfolio) surface | `TaEngine` (exact) |
+//! | [`tempo_rtc`]   | Modular Performance Analysis / real-time calculus baseline | `RtcEngine` (upper bounds) |
+//! | [`tempo_symta`] | SymTA/S-style compositional busy-window analysis baseline | `SymtaEngine` (upper bounds) |
+//! | [`tempo_sim`]   | discrete-event simulation baseline (POOSL/SHESIM stand-in) | `SimEngine` (lower bounds) |
 //!
-//! This umbrella crate re-exports all of them and hosts the runnable examples
-//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//! This umbrella crate re-exports all of them, adds the
+//! [`engine::standard_portfolio`] constructor wiring every technique into one
+//! cross-checking [`Portfolio`](arch::engine::Portfolio), and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
 //!
 //! ## Quick start
+//!
+//! Describe an architecture once, then ask typed [`Query`](arch::engine::Query)s
+//! through a [`Session`](arch::engine::Session) (which validates and compiles
+//! the timed-automata network once and reuses it across queries) or fan a
+//! query across **all four techniques** with a portfolio, getting the paper's
+//! `simulation ≤ exact ≤ SymTA/S ≈ MPA` bracket checked for free:
 //!
 //! ```
 //! use tempo::arch::prelude::*;
@@ -37,9 +46,30 @@
 //!     to: MeasurePoint::AfterStep(0),
 //!     deadline: TimeValue::millis(5),
 //! });
-//! let report = analyze_requirement(&model, "control latency", &AnalysisConfig::default()).unwrap();
-//! assert_eq!(report.wcrt, Some(TimeValue::millis(1)));
+//!
+//! // One session, many queries: the network is generated once per shape.
+//! let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+//! let report = session.run(&Query::WcrtAll, &RunContext::default()).unwrap();
+//! assert_eq!(report.estimates[0].estimate, Estimate::Exact(TimeValue::millis(1)));
+//! assert_eq!(session.generations(), 1);
+//!
+//! // The same question to every technique, bracket-checked and reconciled.
+//! let portfolio = tempo::engine::standard_portfolio();
+//! let comparison = portfolio
+//!     .compare(&model, &Query::wcrt("control latency"), &RunContext::default())
+//!     .unwrap();
+//! assert!(comparison.bracket_ok());
+//! assert_eq!(
+//!     comparison.requirements[0].reconciled,
+//!     Estimate::Exact(TimeValue::millis(1)),
+//! );
 //! ```
+//!
+//! Long-running queries take a [`RunContext`](arch::engine::RunContext) with
+//! a wall-clock/state budget (a budgeted exact query degrades to a
+//! well-formed *lower bound* instead of failing), a cancellation flag and a
+//! progress callback, all threaded down into the model checker's sequential
+//! and parallel explorers.
 #![forbid(unsafe_code)]
 
 /// Difference bound matrices (clock zones).
@@ -48,7 +78,8 @@ pub use tempo_dbm as dbm;
 pub use tempo_ta as ta;
 /// Zone-graph model checker.
 pub use tempo_check as check;
-/// Architecture front-end and WCRT analysis (the paper's contribution).
+/// Architecture front-end, WCRT analysis and the unified engine API (the
+/// paper's contribution).
 pub use tempo_arch as arch;
 /// Real-time calculus / Modular Performance Analysis baseline.
 pub use tempo_rtc as rtc;
@@ -56,3 +87,23 @@ pub use tempo_rtc as rtc;
 pub use tempo_symta as symta;
 /// Discrete-event simulation baseline.
 pub use tempo_sim as sim;
+
+/// The unified engine API with every technique's [`Engine`](engine::Engine)
+/// in one place, plus the standard cross-checking portfolio.
+pub mod engine {
+    pub use tempo_arch::engine::*;
+    pub use tempo_rtc::RtcEngine;
+    pub use tempo_sim::SimEngine;
+    pub use tempo_symta::SymtaEngine;
+
+    /// The paper's Section 5 line-up as one [`Portfolio`]: exact
+    /// timed-automata analysis, discrete-event simulation (lower bounds),
+    /// SymTA/S-style busy windows and MPA/real-time calculus (upper bounds).
+    pub fn standard_portfolio() -> Portfolio {
+        Portfolio::new()
+            .with_engine(Box::new(TaEngine::default()))
+            .with_engine(Box::new(SimEngine::default()))
+            .with_engine(Box::new(SymtaEngine))
+            .with_engine(Box::new(RtcEngine))
+    }
+}

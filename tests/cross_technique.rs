@@ -2,10 +2,15 @@
 //! the qualitative relationships the paper reports in Section 5 —
 //! `simulation ≤ exact timed-automata WCRT ≤ SymTA/S ≈ MPA bounds` — and the
 //! exact analysis must be internally consistent (sup method vs. binary
-//! search, event-model monotonicity).
+//! search, event-model monotonicity).  The comparison runs entirely on the
+//! unified engine API (`Portfolio` over `TaEngine`/`SimEngine`/
+//! `SymtaEngine`/`RtcEngine`); see `tests/engine_portfolio.rs` for the
+//! generated-corpus bracket property test.
 
 use tempo::arch::prelude::*;
-use tempo::sim::{simulate, SimConfig};
+use tempo::engine::{Portfolio, SimEngine, SymtaEngine, TaEngine};
+use tempo::rtc::RtcEngine;
+use tempo::sim::SimConfig;
 
 /// A small two-scenario system sharing one CPU and one bus, small enough for
 /// every technique to run in milliseconds.
@@ -65,58 +70,62 @@ fn default_lo() -> EventModel {
     }
 }
 
+/// The test portfolio: all four engines with a short simulation campaign.
+fn portfolio() -> Portfolio {
+    Portfolio::new()
+        .with_engine(Box::new(TaEngine::default()))
+        .with_engine(Box::new(SimEngine::with_config(SimConfig {
+            horizon: TimeValue::seconds(5),
+            runs: 5,
+            seed: 3,
+        })))
+        .with_engine(Box::new(SymtaEngine))
+        .with_engine(Box::new(RtcEngine))
+}
+
 #[test]
 fn simulation_never_exceeds_exact_and_exact_never_exceeds_analytic_bounds() {
     for policy in [
         SchedulingPolicy::FixedPriorityPreemptive,
         SchedulingPolicy::FixedPriorityNonPreemptive,
-        SchedulingPolicy::NonPreemptiveNd,
     ] {
         let model = shared_cpu_model(policy, default_lo());
-        let sim = simulate(
-            &model,
-            &SimConfig {
-                horizon: TimeValue::seconds(5),
-                runs: 5,
-                seed: 3,
-            },
-        )
-        .unwrap();
+        let comparison = portfolio()
+            .compare(&model, &Query::WcrtAll, &RunContext::default())
+            .unwrap();
+        // The portfolio's own bracket check covers sim ≤ exact ≤ analytic.
+        assert!(
+            comparison.bracket_ok(),
+            "{policy:?}: {:?}",
+            comparison.violations()
+        );
         for requirement in ["hi-e2e", "lo-e2e"] {
-            let exact = analyze_requirement(&model, requirement, &AnalysisConfig::default())
-                .unwrap()
-                .wcrt_ms()
-                .unwrap();
-            let observed = sim
-                .iter()
-                .find(|r| r.requirement == requirement)
-                .unwrap()
-                .max_response_ms();
-            assert!(
-                observed <= exact + 1e-6,
-                "{policy:?}/{requirement}: simulated {observed} > exact {exact}"
-            );
-            // The analytic techniques must produce safe upper bounds.  The
-            // non-deterministic scheduler is bounded by the non-preemptive
-            // fixed-priority analysis (it can behave at least that badly).
-            let symta = tempo::symta::analyze_requirement(&model, requirement)
-                .unwrap()
-                .wcrt_ms();
-            let mpa = tempo::rtc::analyze_requirement(&model, requirement)
-                .unwrap()
-                .wcrt_ms();
-            if policy != SchedulingPolicy::NonPreemptiveNd {
-                assert!(
-                    symta + 1e-6 >= exact,
-                    "{policy:?}/{requirement}: SymTA/S bound {symta} < exact {exact}"
-                );
-                assert!(
-                    mpa + 1e-6 >= exact,
-                    "{policy:?}/{requirement}: MPA bound {mpa} < exact {exact}"
-                );
-            }
+            let req = comparison.for_requirement(requirement).unwrap();
+            assert_eq!(req.estimates.len(), 4, "{policy:?}/{requirement}");
+            // With the exact engine present the reconciled estimate is the
+            // exact WCRT and every engine is consistent with it.
+            assert!(req.reconciled.is_exact(), "{policy:?}/{requirement}");
+            assert_eq!(req.meets_deadline, Some(true));
         }
     }
+    // Under the non-deterministic scheduler the analytic baselines are not
+    // sound upper bounds (a job can wait for several lower-priority jobs);
+    // the paper still compares them, and simulation ≤ exact must hold.
+    let model = shared_cpu_model(SchedulingPolicy::NonPreemptiveNd, default_lo());
+    let comparison = Portfolio::new()
+        .with_engine(Box::new(TaEngine::default()))
+        .with_engine(Box::new(SimEngine::with_config(SimConfig {
+            horizon: TimeValue::seconds(5),
+            runs: 5,
+            seed: 3,
+        })))
+        .compare(&model, &Query::WcrtAll, &RunContext::default())
+        .unwrap();
+    assert!(comparison.bracket_ok(), "{:?}", comparison.violations());
+    assert!(comparison
+        .requirements
+        .iter()
+        .all(|r| r.reconciled.is_exact()));
 }
 
 #[test]
@@ -217,6 +226,12 @@ fn generated_networks_validate_and_queues_stay_bounded() {
         let generated = generate(&model, Some(&model.requirements[0]), &GeneratorOptions::default())
             .expect("generation succeeds");
         assert!(generated.system.validate().is_ok());
+        // The typed query surface and the legacy shim agree.
+        let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+        let report = session
+            .run(&Query::QueueBounds, &RunContext::default())
+            .unwrap();
+        assert_eq!(report.verdict, Some(true), "{policy:?}");
         tempo::arch::check_queues_bounded(&model, &AnalysisConfig::default())
             .expect("queues stay bounded in a schedulable system");
     }

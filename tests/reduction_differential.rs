@@ -18,8 +18,9 @@
 //! and clock supremum across the whole corpus and all fixtures (see
 //! `storage_backends_agree_*` below).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+mod common;
+
+use common::{burst_model, random_model, tdma_model};
 use tempo::arch::prelude::*;
 use tempo::check::{Explorer, SearchOptions, TargetSpec};
 
@@ -133,74 +134,6 @@ fn assert_requirement_matches(model: &ArchitectureModel, requirement: &str) -> (
     (on.stats.states_stored, off.stats.states_stored)
 }
 
-/// A small pseudo-random architecture: two processors and a bus, two
-/// scenarios with random event models, service times, mappings and policies.
-/// Utilisation stays low by construction so every model is schedulable and
-/// every queue bounded.
-fn random_model(seed: u64) -> ArchitectureModel {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = ArchitectureModel::new(format!("gen{seed}"));
-    let policies = [
-        SchedulingPolicy::NonPreemptiveNd,
-        SchedulingPolicy::FixedPriorityPreemptive,
-        SchedulingPolicy::FixedPriorityNonPreemptive,
-    ];
-    let cpu_a = m.add_processor("CPU_A", 1, policies[rng.gen_range(0usize..3)]);
-    let cpu_b = m.add_processor("CPU_B", 1, policies[rng.gen_range(0usize..3)]);
-    let bus = m.add_bus("BUS", 8_000, BusArbitration::FixedPriority);
-    for i in 0..2u32 {
-        let period_ms = [20i128, 25, 40, 50][rng.gen_range(0usize..4)];
-        let period = TimeValue::millis(period_ms);
-        let stimulus = match rng.gen_range(0..4) {
-            0 => EventModel::Periodic { period },
-            1 => EventModel::Sporadic {
-                min_interarrival: period,
-            },
-            2 => EventModel::PeriodicOffset {
-                period,
-                offset: TimeValue::ZERO,
-            },
-            _ => EventModel::PeriodicJitter {
-                period,
-                jitter: TimeValue::millis(period_ms / 2),
-            },
-        };
-        let first_cpu = if rng.gen_bool(0.5) { cpu_a } else { cpu_b };
-        let mut steps = vec![Step::Execute {
-            operation: format!("op{i}"),
-            instructions: rng.gen_range(1_000..4_000) as u64,
-            on: first_cpu,
-        }];
-        if rng.gen_bool(0.5) {
-            steps.push(Step::Transfer {
-                message: format!("msg{i}"),
-                bytes: rng.gen_range(1..3) as u64,
-                over: bus,
-            });
-            steps.push(Step::Execute {
-                operation: format!("op{i}_tail"),
-                instructions: rng.gen_range(1_000..3_000) as u64,
-                on: if first_cpu == cpu_a { cpu_b } else { cpu_a },
-            });
-        }
-        let last = steps.len() - 1;
-        let sid = m.add_scenario(Scenario {
-            name: format!("s{i}"),
-            stimulus,
-            priority: i,
-            steps,
-        });
-        m.add_requirement(Requirement {
-            name: format!("r{i}"),
-            scenario: sid,
-            from: MeasurePoint::Stimulus,
-            to: MeasurePoint::AfterStep(last),
-            deadline: period,
-        });
-    }
-    m
-}
-
 #[test]
 fn generated_architecture_corpus_verdicts_match() {
     let mut reduced_ever_smaller = false;
@@ -266,95 +199,12 @@ fn fischer_verdicts_and_state_space_match() {
     );
 }
 
-/// A TDMA bus (time-triggered slots) carrying two scenarios' messages.
-fn tdma_model() -> ArchitectureModel {
-    let mut m = ArchitectureModel::new("tdma");
-    let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityNonPreemptive);
-    let bus = m.add_bus(
-        "TDMA",
-        8_000,
-        BusArbitration::Tdma {
-            slot: TimeValue::millis(4),
-        },
-    );
-    for (i, period_ms) in [24i128, 36].iter().enumerate() {
-        let sid = m.add_scenario(Scenario {
-            name: format!("s{i}"),
-            stimulus: EventModel::Periodic {
-                period: TimeValue::millis(*period_ms),
-            },
-            priority: i as u32,
-            steps: vec![
-                Step::Execute {
-                    operation: format!("prep{i}"),
-                    instructions: 2_000,
-                    on: cpu,
-                },
-                Step::Transfer {
-                    message: format!("frame{i}"),
-                    bytes: 2,
-                    over: bus,
-                },
-            ],
-        });
-        m.add_requirement(Requirement {
-            name: format!("r{i}"),
-            scenario: sid,
-            from: MeasurePoint::Stimulus,
-            to: MeasurePoint::AfterStep(1),
-            deadline: TimeValue::millis(*period_ms),
-        });
-    }
-    m
-}
-
 #[test]
 fn tdma_fixture_matches() {
     let m = tdma_model();
     for req in ["r0", "r1"] {
         assert_requirement_matches(&m, req);
     }
-}
-
-/// The paper's intractable corner scaled down: a bursty low-priority stream
-/// (J > P) interfering with a periodic high-priority task.
-fn burst_model() -> ArchitectureModel {
-    let mut m = ArchitectureModel::new("burst");
-    let cpu = m.add_processor("CPU", 1, SchedulingPolicy::FixedPriorityPreemptive);
-    m.add_scenario(Scenario {
-        name: "hi".into(),
-        stimulus: EventModel::Periodic {
-            period: TimeValue::millis(5),
-        },
-        priority: 0,
-        steps: vec![Step::Execute {
-            operation: "short".into(),
-            instructions: 1_000,
-            on: cpu,
-        }],
-    });
-    let lo = m.add_scenario(Scenario {
-        name: "lo".into(),
-        stimulus: EventModel::Burst {
-            period: TimeValue::millis(12),
-            jitter: TimeValue::millis(24),
-            min_separation: TimeValue::millis(1),
-        },
-        priority: 1,
-        steps: vec![Step::Execute {
-            operation: "long".into(),
-            instructions: 3_000,
-            on: cpu,
-        }],
-    });
-    m.add_requirement(Requirement {
-        name: "lo-e2e".into(),
-        scenario: lo,
-        from: MeasurePoint::Stimulus,
-        to: MeasurePoint::AfterStep(0),
-        deadline: TimeValue::millis(60),
-    });
-    m
 }
 
 #[test]
