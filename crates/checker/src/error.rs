@@ -34,6 +34,21 @@ pub enum CheckError {
     /// wall-clock budget expiry (which truncates gracefully and yields lower
     /// bounds), cancellation aborts with no usable result.
     Cancelled,
+    /// A transient internal failure: the run produced no usable result but
+    /// retrying the same exploration may well succeed (used by the
+    /// fault-injection harness and surfaced to the engine layer's retry
+    /// policy).
+    Transient {
+        /// Human-readable description of what failed.
+        detail: String,
+    },
+    /// A worker thread of the parallel explorer panicked more often than the
+    /// self-healing retry budget allows; the exploration was shut down
+    /// cleanly (queues drained, no usable result).
+    WorkerPanicked {
+        /// The panic payload, rendered as a string.
+        payload: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -52,6 +67,12 @@ impl fmt::Display for CheckError {
                 write!(f, "query references unknown entity: {what}")
             }
             CheckError::Cancelled => write!(f, "exploration cancelled"),
+            CheckError::Transient { detail } => {
+                write!(f, "transient exploration failure (retryable): {detail}")
+            }
+            CheckError::WorkerPanicked { payload } => {
+                write!(f, "exploration worker panicked: {payload}")
+            }
         }
     }
 }

@@ -1,6 +1,7 @@
 //! The reachability engine: passed/waiting list exploration of the zone graph.
 
 use crate::error::CheckError;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::state::SymState;
 use crate::store::{self, Insert, StorageKind};
 use crate::successor::{ActionLabel, QuerySeed, SuccessorGen};
@@ -69,6 +70,12 @@ pub struct SearchHook {
     /// States expanded between progress callbacks; `0` selects the default
     /// (8192).
     pub progress_every: usize,
+    /// Deterministic fault-injection plan (see [`FaultPlan`]).  When set, the
+    /// instrumented points of the explorers (successor generation, store
+    /// insertion, progress reporting) poll the plan and inject the scheduled
+    /// faults; when `None` (the default) the instrumentation reduces to one
+    /// branch per site.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl SearchHook {
@@ -91,7 +98,10 @@ impl SearchHook {
 
     /// `true` iff the hook can never influence an exploration.
     pub fn is_noop(&self) -> bool {
-        self.wall_clock_budget.is_none() && self.cancel.is_none() && self.progress.is_none()
+        self.wall_clock_budget.is_none()
+            && self.cancel.is_none()
+            && self.progress.is_none()
+            && self.faults.is_none()
     }
 }
 
@@ -102,6 +112,7 @@ impl fmt::Debug for SearchHook {
             .field("cancel", &self.cancel.is_some())
             .field("progress", &self.progress.is_some())
             .field("progress_every", &self.progress_every)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -342,14 +353,16 @@ impl<'s> Explorer<'s> {
             SearchOrder::Bfs => waiting.pop_front(),
             SearchOrder::Dfs | SearchOrder::RandomDfs => waiting.pop_back(),
         } {
-            // Cooperative cancellation and wall-clock budgeting (checked on a
-            // coarse stride; a single expansion is cheap next to 64 of them).
-            if stats.states_explored & 0x3f == 0 {
-                if let Some(cancel) = &hook.cancel {
-                    if cancel.load(Ordering::Relaxed) {
-                        return Err(CheckError::Cancelled);
-                    }
+            // Cooperative cancellation is checked on every pop (an atomic
+            // load is cheap next to an expansion, and bounded cancellation
+            // latency matters more than the load); the wall-clock budget —
+            // an `Instant::now` syscall — stays on a coarse stride.
+            if let Some(cancel) = &hook.cancel {
+                if cancel.load(Ordering::Relaxed) {
+                    return Err(CheckError::Cancelled);
                 }
+            }
+            if stats.states_explored & 0x3f == 0 {
                 if let Some(d) = deadline {
                     if Instant::now() >= d {
                         stats.truncated = true;
@@ -363,6 +376,12 @@ impl<'s> Explorer<'s> {
                 // so a plain modulo test would re-fire on every stale pop.
                 if stats.states_explored >= last_progress + progress_every {
                     last_progress = stats.states_explored;
+                    if let Some(plan) = &hook.faults {
+                        if plan.poll(FaultSite::Progress)? {
+                            stats.truncated = true;
+                            break 'search;
+                        }
+                    }
                     progress(&SearchProgress {
                         states_explored: stats.states_explored,
                         states_stored: stats.states_stored,
@@ -385,6 +404,12 @@ impl<'s> Explorer<'s> {
                     break;
                 }
             }
+            if let Some(plan) = &hook.faults {
+                if plan.poll(FaultSite::SuccessorGen)? {
+                    stats.truncated = true;
+                    break 'search;
+                }
+            }
             let mut succs = gen.successors(&state)?;
             stats.transitions += succs.len();
             if self.opts.order == SearchOrder::RandomDfs {
@@ -398,6 +423,12 @@ impl<'s> Explorer<'s> {
                 // location atoms (e.g. the observer's terminal location).
                 if !gen.can_reach_query(&succ.discrete) {
                     continue;
+                }
+                if let Some(plan) = &hook.faults {
+                    if plan.poll(FaultSite::StoreInsert)? {
+                        stats.truncated = true;
+                        break;
+                    }
                 }
                 match passed.insert(&succ.discrete, &mut succ.zone, merging) {
                     Insert::Subsumed { by_union } => {
@@ -679,6 +710,85 @@ mod tests {
         assert_eq!(stats.states_explored, 4);
         assert!(!stats.truncated);
         assert!(stats.transitions >= 4);
+    }
+
+    #[test]
+    fn injected_faults_abort_or_truncate_the_sequential_exploration() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        let sys = unprotected_mutex();
+        let with_plan = |plan: FaultPlan| {
+            let opts = SearchOptions {
+                hook: SearchHook {
+                    faults: Some(Arc::new(plan)),
+                    ..SearchHook::default()
+                },
+                ..SearchOptions::default()
+            };
+            Explorer::new(&sys, opts).unwrap()
+        };
+
+        // A spurious cancellation surfaces exactly like a real one.
+        let ex = with_plan(FaultPlan::single(
+            FaultSite::SuccessorGen,
+            FaultKind::Cancel,
+            1,
+        ));
+        assert_eq!(ex.explore(|_| {}).unwrap_err(), CheckError::Cancelled);
+
+        // Injected budget exhaustion truncates gracefully, like a wall-clock
+        // expiry: partial statistics, no error.
+        let ex = with_plan(FaultPlan::single(
+            FaultSite::StoreInsert,
+            FaultKind::BudgetExhaustion,
+            0,
+        ));
+        let stats = ex.explore(|_| {}).unwrap();
+        assert!(stats.truncated);
+        assert!(stats.states_explored < 4);
+
+        // A transient error aborts with the retryable variant — and because
+        // plans are one-shot, the *same* explorer succeeds when re-run.
+        let ex = with_plan(FaultPlan::single(
+            FaultSite::SuccessorGen,
+            FaultKind::TransientError,
+            0,
+        ));
+        assert!(matches!(
+            ex.explore(|_| {}).unwrap_err(),
+            CheckError::Transient { .. }
+        ));
+        let stats = ex.explore(|_| {}).unwrap();
+        assert_eq!(stats.states_explored, 4);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn sequential_cancellation_latency_is_bounded() {
+        use std::sync::atomic::AtomicUsize;
+        let sys = unprotected_mutex();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let opts = SearchOptions {
+            hook: SearchHook {
+                cancel: Some(cancel.clone()),
+                ..SearchHook::default()
+            },
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let visits = Arc::new(AtomicUsize::new(0));
+        let v = visits.clone();
+        let c = cancel.clone();
+        let err = ex
+            .explore(move |_| {
+                if v.fetch_add(1, Ordering::Relaxed) + 1 == 2 {
+                    c.store(true, Ordering::Relaxed);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, CheckError::Cancelled);
+        // The flag is polled on every pop: no further state is expanded after
+        // the one that raised it.
+        assert_eq!(visits.load(Ordering::Relaxed), 2);
     }
 
     /// A producer/consumer over an urgent channel: the consumer must process

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod state;
 mod store;
 mod target;
@@ -72,6 +73,7 @@ mod parallel;
 mod wcrt;
 
 pub use error::CheckError;
+pub use fault::{panic_message, quiet_injected_panics, FaultKind, FaultPlan, FaultSite};
 pub use explorer::{
     ExplorationStats, Explorer, ProgressFn, ReachReport, SearchHook, SearchOptions, SearchOrder,
     SearchProgress, TraceStep,

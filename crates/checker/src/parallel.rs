@@ -28,6 +28,7 @@
 
 use crate::error::CheckError;
 use crate::explorer::{ExplorationStats, Explorer, ReachReport, SearchProgress};
+use crate::fault::{panic_message, FaultSite};
 use crate::state::SymState;
 use crate::store::{Insert, ShardedStore};
 use crate::successor::{QuerySeed, SuccessorGen};
@@ -88,6 +89,12 @@ struct WorkerOutcome {
     eliminated: usize,
     error: Option<CheckError>,
 }
+
+/// How many caught expansion panics a single worker *self-heals* (requeueing
+/// the in-flight state for a retry) before concluding the panic is
+/// deterministic, giving up and failing the whole exploration with
+/// [`CheckError::WorkerPanicked`].
+const MAX_WORKER_PANICS: usize = 8;
 
 impl<'s> Explorer<'s> {
     /// Runs the parallel exploration loop.
@@ -173,22 +180,32 @@ impl<'s> Explorer<'s> {
                         eliminated: 0,
                         error: None,
                     };
-                    let gen = match SuccessorGen::for_queries(sys, opts, queries) {
-                        Ok(g) => g,
-                        Err(e) => {
-                            outcome.error = Some(e);
-                            stop.store(true, Ordering::SeqCst);
-                            return outcome;
-                        }
-                    };
-                    let mut last_progress = 0usize;
-                    loop {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        // Cooperative cancellation and wall-clock budgeting
-                        // (same semantics as the sequential explorer).
-                        if outcome.explored & 0x3f == 0 {
+                    // Outer unwind barrier: a panic escaping the
+                    // per-expansion barrier below (e.g. thrown by a progress
+                    // callback) must not kill the thread silently — its
+                    // in-flight state would keep the counter above zero and
+                    // every peer would spin forever.  It stops the
+                    // exploration and is reported as `WorkerPanicked`.
+                    let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let gen = match SuccessorGen::for_queries(sys, opts, queries) {
+                            Ok(g) => g,
+                            Err(e) => {
+                                outcome.error = Some(e);
+                                stop.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                        };
+                        let mut last_progress = 0usize;
+                        let mut panics = 0usize;
+                        loop {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            // Cooperative cancellation is observed on *every*
+                            // pop — the flag is one relaxed atomic load, and
+                            // bounded cancellation latency matters more; the
+                            // wall-clock deadline (an `Instant::now` syscall)
+                            // keeps the sequential explorer's coarse stride.
                             if let Some(cancel) = &hook.cancel {
                                 if cancel.load(Ordering::Relaxed) {
                                     cancelled.store(true, Ordering::SeqCst);
@@ -196,130 +213,230 @@ impl<'s> Explorer<'s> {
                                     break;
                                 }
                             }
-                            if let Some(d) = deadline {
-                                if Instant::now() >= d {
-                                    truncated.store(true, Ordering::SeqCst);
-                                    stop.store(true, Ordering::SeqCst);
-                                    break;
+                            if outcome.explored & 0x3f == 0 {
+                                if let Some(d) = deadline {
+                                    if Instant::now() >= d {
+                                        truncated.store(true, Ordering::SeqCst);
+                                        stop.store(true, Ordering::SeqCst);
+                                        break;
+                                    }
                                 }
                             }
-                        }
-                        if let Some(progress) = &hook.progress {
-                            // Like the sequential explorer: fire only when
-                            // this worker's counter advanced, not on stale or
-                            // empty pops.
-                            if outcome.explored >= last_progress + progress_every {
-                                last_progress = outcome.explored;
-                                progress(&SearchProgress {
-                                    states_explored: outcome.explored,
-                                    states_stored: passed.live_zones(),
-                                    elapsed: start.elapsed(),
-                                });
+                            if let Some(progress) = &hook.progress {
+                                // Like the sequential explorer: fire only when
+                                // this worker's counter advanced, not on stale
+                                // or empty pops.
+                                if outcome.explored >= last_progress + progress_every {
+                                    last_progress = outcome.explored;
+                                    if let Some(plan) = &hook.faults {
+                                        match plan.poll(FaultSite::Progress) {
+                                            Ok(false) => {}
+                                            Ok(true) => {
+                                                truncated.store(true, Ordering::SeqCst);
+                                                stop.store(true, Ordering::SeqCst);
+                                                break;
+                                            }
+                                            Err(CheckError::Cancelled) => {
+                                                cancelled.store(true, Ordering::SeqCst);
+                                                stop.store(true, Ordering::SeqCst);
+                                                break;
+                                            }
+                                            Err(e) => {
+                                                outcome.error = Some(e);
+                                                stop.store(true, Ordering::SeqCst);
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    progress(&SearchProgress {
+                                        states_explored: outcome.explored,
+                                        states_stored: passed.live_zones(),
+                                        elapsed: start.elapsed(),
+                                    });
+                                }
                             }
-                        }
-                        // Own deque first, then the seed injector, then steal
-                        // from peers (round-robin, starting past ourselves).
-                        let next = local.pop().or_else(|| {
-                            let mut contended = false;
-                            match queue.steal() {
-                                Steal::Success(s) => return Some(s),
-                                Steal::Retry => contended = true,
-                                Steal::Empty => {}
-                            }
-                            for k in 1..stealers.len() {
-                                match stealers[(index + k) % stealers.len()].steal() {
+                            // Own deque first, then the seed injector, then
+                            // steal from peers (round-robin, starting past
+                            // ourselves).
+                            let next = local.pop().or_else(|| {
+                                let mut contended = false;
+                                match queue.steal() {
                                     Steal::Success(s) => return Some(s),
                                     Steal::Retry => contended = true,
                                     Steal::Empty => {}
                                 }
-                            }
-                            if contended {
-                                // Lost a race; pretend the deques were busy so
-                                // the caller retries instead of terminating.
-                                std::thread::yield_now();
-                            }
-                            None
-                        });
-                        let state = match next {
-                            Some(s) => s,
-                            None => {
-                                if pending.load(Ordering::SeqCst) == 0 {
-                                    break;
+                                for k in 1..stealers.len() {
+                                    match stealers[(index + k) % stealers.len()].steal() {
+                                        Steal::Success(s) => return Some(s),
+                                        Steal::Retry => contended = true,
+                                        Steal::Empty => {}
+                                    }
                                 }
-                                std::thread::yield_now();
+                                if contended {
+                                    // Lost a race; pretend the deques were
+                                    // busy so the caller retries instead of
+                                    // terminating.
+                                    std::thread::yield_now();
+                                }
+                                None
+                            });
+                            let state = match next {
+                                Some(s) => s,
+                                None => {
+                                    if pending.load(Ordering::SeqCst) == 0 {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                    continue;
+                                }
+                            };
+                            // Skip states whose zone was evicted or absorbed
+                            // since they were queued: a stored zone covers
+                            // them, and its own expansion subsumes theirs.
+                            if !passed.is_current(&state.discrete, &state.zone) {
+                                pending.fetch_sub(1, Ordering::SeqCst);
                                 continue;
                             }
-                        };
-                        // Skip states whose zone was evicted or absorbed
-                        // since they were queued: a stored zone covers them,
-                        // and its own expansion subsumes theirs.
-                        if !passed.is_current(&state.discrete, &state.zone) {
-                            pending.fetch_sub(1, Ordering::SeqCst);
-                            continue;
-                        }
-                        outcome.explored += 1;
-                        visit(&state);
-                        if let Some(t) = target {
-                            match t.matches(&state) {
-                                Ok(true) => {
-                                    found.store(true, Ordering::SeqCst);
-                                    stop.store(true, Ordering::SeqCst);
-                                    pending.fetch_sub(1, Ordering::SeqCst);
-                                    break;
-                                }
-                                Ok(false) => {}
-                                Err(e) => {
-                                    outcome.error = Some(e.into());
-                                    stop.store(true, Ordering::SeqCst);
-                                    pending.fetch_sub(1, Ordering::SeqCst);
-                                    break;
-                                }
-                            }
-                        }
-                        match gen.successors(&state) {
-                            Ok(succs) => {
-                                outcome.transitions += succs.len();
-                                for (mut succ, _action) in succs {
-                                    if succ.zone.is_empty() {
-                                        continue;
-                                    }
-                                    // Prune states that can no longer satisfy
-                                    // the query's location atoms.
-                                    if !gen.can_reach_query(&succ.discrete) {
-                                        continue;
-                                    }
-                                    match passed.insert(&succ.discrete, &mut succ.zone, merging) {
-                                        // Aggregate counters live in the store.
-                                        Insert::Subsumed { .. } => continue,
-                                        Insert::Inserted { .. } => {}
-                                    }
-                                    if let Some(limit) = max_states {
-                                        if passed.live_zones() > limit {
-                                            if truncate_on_limit {
-                                                truncated.store(true, Ordering::SeqCst);
-                                            } else {
-                                                limit_exceeded.store(true, Ordering::SeqCst);
-                                            }
+                            // The expansion proper — the visit callback,
+                            // target matching, successor computation and the
+                            // store insertions — runs behind an unwind
+                            // barrier.  `Ok(true)` means "stop after the usual
+                            // bookkeeping" (target found or injected budget
+                            // exhaustion).
+                            let expansion = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| -> Result<bool, CheckError> {
+                                    outcome.explored += 1;
+                                    visit(&state);
+                                    if let Some(t) = target {
+                                        if t.matches(&state)? {
+                                            found.store(true, Ordering::SeqCst);
                                             stop.store(true, Ordering::SeqCst);
+                                            return Ok(true);
                                         }
                                     }
-                                    let now = pending.fetch_add(1, Ordering::SeqCst) + 1;
-                                    peak_pending.fetch_max(now, Ordering::Relaxed);
-                                    local.push(succ);
+                                    if let Some(plan) = &hook.faults {
+                                        if plan.poll(FaultSite::SuccessorGen)? {
+                                            truncated.store(true, Ordering::SeqCst);
+                                            stop.store(true, Ordering::SeqCst);
+                                            return Ok(true);
+                                        }
+                                    }
+                                    let succs = gen.successors(&state)?;
+                                    outcome.transitions += succs.len();
+                                    for (mut succ, _action) in succs {
+                                        if succ.zone.is_empty() {
+                                            continue;
+                                        }
+                                        // Prune states that can no longer
+                                        // satisfy the query's location atoms.
+                                        if !gen.can_reach_query(&succ.discrete) {
+                                            continue;
+                                        }
+                                        if let Some(plan) = &hook.faults {
+                                            if plan.poll(FaultSite::StoreInsert)? {
+                                                truncated.store(true, Ordering::SeqCst);
+                                                stop.store(true, Ordering::SeqCst);
+                                                return Ok(true);
+                                            }
+                                        }
+                                        match passed.insert(&succ.discrete, &mut succ.zone, merging)
+                                        {
+                                            // Aggregate counters live in the store.
+                                            Insert::Subsumed { .. } => continue,
+                                            Insert::Inserted { .. } => {}
+                                        }
+                                        if let Some(limit) = max_states {
+                                            if passed.live_zones() > limit {
+                                                if truncate_on_limit {
+                                                    truncated.store(true, Ordering::SeqCst);
+                                                } else {
+                                                    limit_exceeded.store(true, Ordering::SeqCst);
+                                                }
+                                                stop.store(true, Ordering::SeqCst);
+                                            }
+                                        }
+                                        let now = pending.fetch_add(1, Ordering::SeqCst) + 1;
+                                        peak_pending.fetch_max(now, Ordering::Relaxed);
+                                        local.push(succ);
+                                    }
+                                    Ok(false)
+                                }),
+                            );
+                            match expansion {
+                                Ok(Ok(stop_now)) => {
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                    if stop_now {
+                                        break;
+                                    }
+                                }
+                                Ok(Err(CheckError::Cancelled)) => {
+                                    cancelled.store(true, Ordering::SeqCst);
+                                    stop.store(true, Ordering::SeqCst);
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                    break;
+                                }
+                                Ok(Err(e)) => {
+                                    outcome.error = Some(e);
+                                    stop.store(true, Ordering::SeqCst);
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                    break;
+                                }
+                                Err(payload) => {
+                                    // Self-heal: the panicked expansion's
+                                    // state is still accounted in-flight, so
+                                    // hand it back through the injector (any
+                                    // worker may retry it — re-inserted
+                                    // successors of a partial expansion are
+                                    // absorbed by subsumption).  Deterministic
+                                    // panics exhaust the retry budget and fail
+                                    // the exploration cleanly instead.
+                                    panics += 1;
+                                    if panics > MAX_WORKER_PANICS {
+                                        outcome.error = Some(CheckError::WorkerPanicked {
+                                            payload: panic_message(payload),
+                                        });
+                                        stop.store(true, Ordering::SeqCst);
+                                        pending.fetch_sub(1, Ordering::SeqCst);
+                                        // Reassign the rest of our deque so
+                                        // nothing is stranded with this
+                                        // worker.
+                                        while let Some(s) = local.pop() {
+                                            queue.push(s);
+                                        }
+                                        break;
+                                    }
+                                    queue.push(state);
                                 }
                             }
-                            Err(e) => {
-                                outcome.error = Some(e);
-                                stop.store(true, Ordering::SeqCst);
-                            }
                         }
-                        pending.fetch_sub(1, Ordering::SeqCst);
+                        outcome.eliminated = gen.clocks_eliminated();
+                    }));
+                    if let Err(payload) = guarded {
+                        stop.store(true, Ordering::SeqCst);
+                        if outcome.error.is_none() {
+                            outcome.error = Some(CheckError::WorkerPanicked {
+                                payload: panic_message(payload),
+                            });
+                        }
                     }
-                    outcome.eliminated = gen.clocks_eliminated();
                     outcome
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    // The outer barrier makes a panicking join unreachable;
+                    // map it defensively instead of aborting the process.
+                    h.join().unwrap_or_else(|payload| WorkerOutcome {
+                        explored: 0,
+                        transitions: 0,
+                        eliminated: 0,
+                        error: Some(CheckError::WorkerPanicked {
+                            payload: panic_message(payload),
+                        }),
+                    })
+                })
+                .collect()
         });
 
         for outcome in &outcomes {
@@ -671,6 +788,103 @@ mod tests {
             .par_explore(&|_| {}, &ParallelOptions::with_workers(2))
             .unwrap();
         assert!(stats.truncated);
+    }
+
+    #[test]
+    fn parallel_cancellation_latency_is_bounded() {
+        use std::sync::Arc;
+        let sys = worker_pool(3);
+        let workers = 4usize;
+        let trigger = 5usize;
+        let cancel = Arc::new(AtomicBool::new(false));
+        let opts = SearchOptions {
+            hook: crate::SearchHook {
+                cancel: Some(cancel.clone()),
+                ..crate::SearchHook::default()
+            },
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let visits = AtomicUsize::new(0);
+        let err = ex
+            .par_explore(
+                &|_| {
+                    if visits.fetch_add(1, Ordering::SeqCst) + 1 == trigger {
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                },
+                &ParallelOptions::with_workers(workers),
+            )
+            .unwrap_err();
+        assert_eq!(err, CheckError::Cancelled);
+        // The flag is polled before every pop, so after it is raised each
+        // worker can complete at most the one expansion it had already
+        // started.
+        let total = visits.load(Ordering::SeqCst);
+        assert!(
+            total <= trigger + workers,
+            "cancellation latency unbounded: {total} expansions for a flag raised at {trigger}"
+        );
+    }
+
+    #[test]
+    fn injected_worker_panic_self_heals() {
+        use crate::fault::{quiet_injected_panics, FaultKind, FaultPlan, FaultSite};
+        use std::sync::Arc;
+        quiet_injected_panics();
+        let sys = worker_pool(3);
+        // Fault-free sequential baseline.
+        let baseline = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        let mut seq_states: HashSet<String> = HashSet::new();
+        baseline
+            .explore(|s| {
+                seq_states.insert(s.discrete.pretty(&sys));
+            })
+            .unwrap();
+        // One injected panic mid-exploration: the worker catches it, requeues
+        // the state, and the exploration still covers everything.
+        let plan = Arc::new(FaultPlan::single(FaultSite::SuccessorGen, FaultKind::Panic, 5));
+        let opts = SearchOptions {
+            hook: crate::SearchHook {
+                faults: Some(plan.clone()),
+                ..crate::SearchHook::default()
+            },
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let par_states: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let stats = ex
+            .par_explore(
+                &|s| {
+                    par_states.lock().insert(s.discrete.pretty(&sys));
+                },
+                &ParallelOptions::with_workers(4),
+            )
+            .unwrap();
+        assert_eq!(plan.injected(), 1, "the panic rule must have fired");
+        assert!(!stats.truncated);
+        assert_eq!(par_states.into_inner(), seq_states);
+    }
+
+    #[test]
+    fn deterministic_panics_fail_cleanly_after_the_retry_budget() {
+        use crate::fault::quiet_injected_panics;
+        quiet_injected_panics();
+        let sys = worker_pool(2);
+        let ex = Explorer::new(&sys, SearchOptions::default()).unwrap();
+        // A visit callback that *always* panics exhausts some worker's
+        // self-heal budget; the exploration must come back with a typed
+        // error — no deadlock, no process abort.
+        let err = ex
+            .par_explore(
+                &|_| panic!("chaos-mock: deterministic visit panic"),
+                &ParallelOptions::with_workers(4),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, CheckError::WorkerPanicked { payload } if payload.contains("chaos-mock")),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tempo_check::{CheckError, Explorer, SearchHook, SupQuery, TargetSpec};
+use tempo_check::{CheckError, Explorer, FaultPlan, FaultSite, SearchHook, SupQuery, TargetSpec};
+
+// Fault-injection vocabulary, re-exported so engine users can build a
+// [`RunContext`] with a fault plan without depending on `tempo_check`
+// directly.
+pub use tempo_check::{quiet_injected_panics, FaultKind};
 
 // ---------------------------------------------------------------------------
 // Queries
@@ -312,6 +317,15 @@ pub struct RunContext {
     pub cancel: Option<Arc<AtomicBool>>,
     /// Periodic progress callback (invoked from the exploring threads).
     pub progress: Option<Arc<tempo_check::ProgressFn>>,
+    /// An absolute deadline shared across several runs (a [`Portfolio`]
+    /// pins its retry rounds under one such deadline).  Combined with the
+    /// relative wall-clock budget by [`RunContext::effective_deadline`]:
+    /// whichever is earlier wins.
+    pub deadline: Option<Instant>,
+    /// Deterministic fault-injection plan (see [`FaultPlan`]), threaded into
+    /// the explorers through [`SearchHook::faults`] and polled by engines at
+    /// their entry point.  `None` (the default) costs nothing.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl RunContext {
@@ -345,13 +359,28 @@ impl RunContext {
             .unwrap_or(false)
     }
 
+    /// The earliest instant by which work started at `from` must stop: the
+    /// relative wall-clock budget and the absolute shared deadline, whichever
+    /// comes first.  `None` when the context is unbounded.
+    pub fn effective_deadline(&self, from: Instant) -> Option<Instant> {
+        let budget = self.budget.wall_clock.map(|b| from + b);
+        match (budget, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// The [`SearchHook`] carrying this context into the model checker.
     pub fn search_hook(&self) -> SearchHook {
+        let now = Instant::now();
         SearchHook {
-            wall_clock_budget: self.budget.wall_clock,
+            wall_clock_budget: self
+                .effective_deadline(now)
+                .map(|d| d.saturating_duration_since(now)),
             cancel: self.cancel.clone(),
             progress: self.progress.clone(),
             progress_every: 0,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -362,6 +391,8 @@ impl fmt::Debug for RunContext {
             .field("budget", &self.budget)
             .field("cancel", &self.cancel.is_some())
             .field("progress", &self.progress.is_some())
+            .field("deadline", &self.deadline)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -413,6 +444,12 @@ pub struct EngineReport {
     pub wall_time: Duration,
     /// Symbolic states stored, for engines that explore a state space.
     pub states_stored: Option<usize>,
+    /// `true` when a budget (wall-clock, state count, or an injected
+    /// exhaustion) cut the run short: the estimates are then degraded —
+    /// still *sound* (exact analyses report lower bounds) but possibly not
+    /// tight, and verdicts may be `None`.  A [`Portfolio`] may retry
+    /// truncated runs with doubled budgets.
+    pub truncated: bool,
 }
 
 impl EngineReport {
@@ -442,8 +479,47 @@ pub enum EngineError {
     Overload(String),
     /// The run was cancelled through [`RunContext::cancel`].
     Cancelled,
+    /// The shared deadline ([`RunContext::deadline`]) expired before the
+    /// engine could produce any answer.
+    TimedOut,
+    /// The model checker failed; the structured [`CheckError`] is preserved
+    /// so callers can tell a budget limit ([`CheckError::StateLimitExceeded`])
+    /// or a retryable transient ([`CheckError::Transient`],
+    /// [`CheckError::WorkerPanicked`]) from a genuine analysis failure.
+    Check(CheckError),
+    /// The engine panicked; the panic was caught at the
+    /// [`Engine::run_isolated`] unwind barrier.
+    Panicked {
+        /// The panicking engine's name.
+        engine: String,
+        /// The panic payload, rendered as a string.
+        payload: String,
+    },
     /// Any other engine failure.
     Internal(String),
+}
+
+impl EngineError {
+    /// `true` for failures where retrying the same run may well succeed: an
+    /// isolated panic or a transient checker failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Panicked { .. }
+                | EngineError::Check(CheckError::Transient { .. })
+                | EngineError::Check(CheckError::WorkerPanicked { .. })
+        )
+    }
+
+    /// `true` when the failure is a hard budget limit (the exploration was
+    /// configured to error rather than truncate): a bigger budget, not a
+    /// different engine, is the fix.
+    pub fn is_budget_limited(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Check(CheckError::StateLimitExceeded { .. })
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -456,6 +532,11 @@ impl fmt::Display for EngineError {
             }
             EngineError::Overload(d) => write!(f, "resource overloaded: {d}"),
             EngineError::Cancelled => write!(f, "analysis cancelled"),
+            EngineError::TimedOut => write!(f, "analysis timed out (shared deadline expired)"),
+            EngineError::Check(e) => write!(f, "model checking failed: {e}"),
+            EngineError::Panicked { engine, payload } => {
+                write!(f, "engine `{engine}` panicked (isolated): {payload}")
+            }
             EngineError::Internal(d) => write!(f, "analysis failed: {d}"),
         }
     }
@@ -470,8 +551,25 @@ impl From<ArchError> for EngineError {
             ArchError::UnknownRequirement { name } => EngineError::UnknownRequirement(name),
             ArchError::QueueOverflow { detail } => EngineError::Overload(detail),
             ArchError::Check(CheckError::Cancelled) => EngineError::Cancelled,
-            ArchError::Check(e) => EngineError::Internal(e.to_string()),
+            ArchError::Check(e) => EngineError::Check(e),
         }
+    }
+}
+
+/// Polls the [`FaultSite::EngineEntry`] instrumentation point on behalf of an
+/// engine and translates the checker's fault vocabulary into engine errors.
+/// Returns `Ok(true)` when an injected budget exhaustion asks the engine to
+/// degrade (truncate as if its budget had just expired), `Ok(false)` when
+/// nothing fired (always, when the context carries no plan).  An injected
+/// panic propagates and is caught at the [`Engine::run_isolated`] barrier.
+pub fn poll_entry_fault(ctx: &RunContext) -> Result<bool, EngineError> {
+    match &ctx.faults {
+        None => Ok(false),
+        Some(plan) => match plan.poll(FaultSite::EngineEntry) {
+            Ok(exhausted) => Ok(exhausted),
+            Err(CheckError::Cancelled) => Err(EngineError::Cancelled),
+            Err(e) => Err(EngineError::Check(e)),
+        },
     }
 }
 
@@ -531,6 +629,10 @@ pub fn run_upper_bound_engine(
     if ctx.is_cancelled() {
         return Err(EngineError::Cancelled);
     }
+    // Closed-form analyses have no budget to exhaust, so an injected budget
+    // exhaustion (`Ok(true)`) is a no-op here; cancellations, transients and
+    // panics take effect.
+    poll_entry_fault(ctx)?;
     reject_tdma_buses(model, engine)?;
     let started = Instant::now();
     let (estimates, verdict) = match query {
@@ -560,6 +662,7 @@ pub fn run_upper_bound_engine(
         verdict,
         wall_time: started.elapsed(),
         states_stored: None,
+        truncated: false,
     })
 }
 
@@ -579,6 +682,27 @@ pub trait Engine {
         query: &Query,
         ctx: &RunContext,
     ) -> Result<EngineReport, EngineError>;
+
+    /// [`Engine::run`] behind an unwind barrier: a panic anywhere inside the
+    /// engine is caught and surfaced as [`EngineError::Panicked`] instead of
+    /// unwinding into the caller.  The [`Portfolio`] always calls this, so a
+    /// panicking member engine can never take the comparison down with it.
+    fn run_isolated(
+        &self,
+        model: &ArchitectureModel,
+        query: &Query,
+        ctx: &RunContext,
+    ) -> Result<EngineReport, EngineError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run(model, query, ctx)
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(EngineError::Panicked {
+                engine: self.name().to_string(),
+                payload: tempo_check::panic_message(payload),
+            }),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -865,46 +989,60 @@ impl<'m> Session<'m> {
     /// [`Engine::run`].
     pub fn run(&self, query: &Query, ctx: &RunContext) -> Result<EngineReport, EngineError> {
         let started = Instant::now();
-        let cfg = self.effective_config(ctx);
-        let (estimates, verdict, states_stored) = match query {
+        let mut cfg = self.effective_config(ctx);
+        if poll_entry_fault(ctx)? {
+            // Injected budget exhaustion: degrade exactly as if the
+            // wall-clock budget had expired on entry — the exploration
+            // truncates immediately and the answers are sound lower bounds.
+            cfg.search.hook.wall_clock_budget = Some(Duration::ZERO);
+        }
+        let (estimates, verdict, states_stored, truncated) = match query {
             Query::Wcrt { requirement } => {
                 let report = self.wcrt_with(requirement, &cfg)?;
                 let states = report.stats.states_stored;
+                let truncated = report.stats.truncated;
                 (
                     vec![RequirementEstimate::from_wcrt(&report)],
                     None,
                     Some(states),
+                    truncated,
                 )
             }
             Query::Supremum { requirement } => {
                 let report = self.wcrt_with(requirement, &cfg)?;
                 let states = report.stats.states_stored;
+                let truncated = report.stats.truncated;
                 let mut estimate = RequirementEstimate::from_wcrt(&report);
                 estimate.meets_deadline = None;
-                (vec![estimate], None, Some(states))
+                (vec![estimate], None, Some(states), truncated)
             }
             Query::DeadlineCheck { requirement } => {
                 let report = self.wcrt_with(requirement, &cfg)?;
                 let states = report.stats.states_stored;
+                let truncated = report.stats.truncated;
                 let verdict = report.meets_deadline;
                 (
                     vec![RequirementEstimate::from_wcrt(&report)],
                     verdict,
                     Some(states),
+                    truncated,
                 )
             }
             Query::WcrtAll => {
                 let reports = self.wcrt_all_with(&cfg)?;
                 let states = reports.iter().map(|r| r.stats.states_stored).max();
+                let truncated = reports.iter().any(|r| r.stats.truncated);
                 (
                     reports.iter().map(RequirementEstimate::from_wcrt).collect(),
                     None,
                     states,
+                    truncated,
                 )
             }
             Query::QueueBounds => {
                 let verdict = self.queues_bounded_with(&cfg)?;
-                (Vec::new(), verdict, None)
+                // An undecided verdict means the exploration truncated.
+                (Vec::new(), verdict, None, verdict.is_none())
             }
         };
         Ok(EngineReport {
@@ -914,6 +1052,7 @@ impl<'m> Session<'m> {
             verdict,
             wall_time: started.elapsed(),
             states_stored,
+            truncated,
         })
     }
 }
@@ -922,6 +1061,59 @@ impl<'m> Session<'m> {
 // Portfolio
 // ---------------------------------------------------------------------------
 
+/// Classification of one engine run within a [`ComparisonReport`] — the
+/// degradation ladder of the robustness invariant: an engine may be slower
+/// (truncated, retried), declined, or cleanly failed, but its classification
+/// is always explicit and reconciliation runs over whatever answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// Answered with complete results.
+    Ok,
+    /// Answered, but a budget cut the run short: the estimates are degraded
+    /// (sound but possibly loose) and verdicts may be missing.
+    Truncated,
+    /// Declined the query or the model shape ([`EngineError::Unsupported`]).
+    Declined,
+    /// Panicked; the panic was isolated at the [`Engine::run_isolated`]
+    /// barrier and did not affect the other engines.
+    Panicked,
+    /// The shared deadline expired before the engine could answer.
+    TimedOut,
+    /// Observed the cooperative cancellation flag.
+    Cancelled,
+    /// Failed with any other error.
+    Failed,
+}
+
+impl EngineStatus {
+    /// Classifies a run outcome.
+    pub fn classify(outcome: &Result<EngineReport, EngineError>) -> EngineStatus {
+        match outcome {
+            Ok(report) if report.truncated => EngineStatus::Truncated,
+            Ok(_) => EngineStatus::Ok,
+            Err(EngineError::Unsupported { .. }) => EngineStatus::Declined,
+            Err(EngineError::Panicked { .. }) => EngineStatus::Panicked,
+            Err(EngineError::TimedOut) => EngineStatus::TimedOut,
+            Err(EngineError::Cancelled) => EngineStatus::Cancelled,
+            Err(_) => EngineStatus::Failed,
+        }
+    }
+}
+
+impl fmt::Display for EngineStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineStatus::Ok => "ok",
+            EngineStatus::Truncated => "truncated",
+            EngineStatus::Declined => "declined",
+            EngineStatus::Panicked => "panicked",
+            EngineStatus::TimedOut => "timed out",
+            EngineStatus::Cancelled => "cancelled",
+            EngineStatus::Failed => "failed",
+        })
+    }
+}
+
 /// One engine's raw outcome within a [`ComparisonReport`].
 #[derive(Debug)]
 pub struct EngineRow {
@@ -929,6 +1121,14 @@ pub struct EngineRow {
     pub engine: String,
     /// The kind of bound the engine advertises.
     pub bound: BoundKind,
+    /// Classification of the outcome (ok / truncated / declined / panicked /
+    /// timed out / cancelled / failed).
+    pub status: EngineStatus,
+    /// How many attempts the engine got (1 normally; more when the
+    /// [`RetryPolicy`] retried a transient failure or a truncated run; 0 when
+    /// the query was outside the engine's capabilities or the shared deadline
+    /// had already expired).
+    pub attempts: usize,
     /// The run result (engines that declined or failed keep their error so
     /// the comparison stays auditable).
     pub outcome: Result<EngineReport, EngineError>,
@@ -995,19 +1195,27 @@ impl fmt::Display for ComparisonReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "portfolio comparison — query {}", self.query)?;
         for row in &self.rows {
+            let attempts = if row.attempts > 1 {
+                format!(" after {} attempts", row.attempts)
+            } else {
+                String::new()
+            };
             match &row.outcome {
                 Ok(report) => writeln!(
                     f,
-                    "  {:<16} [{:?} bounds] answered in {:.2?}{}",
+                    "  {:<16} [{:?} bounds] {} in {:.2?}{attempts}{}",
                     row.engine,
                     row.bound,
+                    row.status,
                     report.wall_time,
                     report
                         .states_stored
                         .map(|s| format!(", {s} symbolic states"))
                         .unwrap_or_default(),
                 )?,
-                Err(e) => writeln!(f, "  {:<16} did not answer: {e}", row.engine)?,
+                Err(e) => {
+                    writeln!(f, "  {:<16} {}{attempts}: {e}", row.engine, row.status)?
+                }
             }
         }
         for req in &self.requirements {
@@ -1027,9 +1235,43 @@ impl fmt::Display for ComparisonReport {
     }
 }
 
+/// How a [`Portfolio`] retries member engines that failed transiently or
+/// answered under a truncating budget.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (`0` disables retrying).
+    pub max_retries: usize,
+    /// Retry runs truncated by a context budget, doubling the wall-clock and
+    /// state budgets on each retry (exponential *forward* backoff) — still
+    /// under the one shared deadline the comparison started with, so retries
+    /// can never extend the overall run beyond it.  The degraded first
+    /// answer is kept if a retry fails outright.
+    pub retry_truncated: bool,
+    /// Retry transient failures ([`EngineError::is_transient`]: isolated
+    /// panics, transient checker errors).
+    pub retry_transient: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 1,
+            retry_truncated: false,
+            retry_transient: true,
+        }
+    }
+}
+
 /// A meta-engine fanning a query across several member engines and
 /// reconciling their answers, asserting the paper's bracket invariant
 /// (`simulation ≤ exact ≤ SymTA/S ≈ MPA`) along the way.
+///
+/// Member engines run behind the [`Engine::run_isolated`] unwind barrier and
+/// the comparison degrades instead of failing: a member that panics, times
+/// out, is truncated by a budget, declines, or fails transiently gets its
+/// [`EngineStatus`] recorded in its row while reconciliation runs over the
+/// survivors.  The comparison errs only when *no* engine produced an answer
+/// or the caller's own cancellation flag is set.
 pub struct Portfolio {
     engines: Vec<Box<dyn Engine>>,
     /// Slack allowed in bracket checks (quantization of exact results vs.
@@ -1038,6 +1280,9 @@ pub struct Portfolio {
     /// When `true`, a bracket violation turns the run into an
     /// [`EngineError::Internal`] instead of a reported violation.
     pub fail_on_violation: bool,
+    /// The retry policy for transiently-failed and budget-truncated member
+    /// runs.
+    pub retry: RetryPolicy,
 }
 
 impl Default for Portfolio {
@@ -1046,6 +1291,7 @@ impl Default for Portfolio {
             engines: Vec::new(),
             tolerance: TimeValue::micros(1),
             fail_on_violation: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -1085,28 +1331,33 @@ impl Portfolio {
         query: &Query,
         ctx: &RunContext,
     ) -> Result<ComparisonReport, EngineError> {
+        // One shared deadline for the whole comparison, retries included.
+        let shared_deadline = ctx.effective_deadline(Instant::now());
         let mut rows: Vec<EngineRow> = Vec::with_capacity(self.engines.len());
         for engine in &self.engines {
             let capabilities = engine.capabilities();
-            let outcome = if capabilities.supports(query) {
-                engine.run(model, query, ctx)
+            let (outcome, attempts) = if capabilities.supports(query) {
+                self.run_with_retries(engine.as_ref(), model, query, ctx, shared_deadline)
             } else {
-                Err(EngineError::Unsupported {
+                let declined = Err(EngineError::Unsupported {
                     engine: engine.name().into(),
                     detail: format!("query {query} outside the engine's capabilities"),
-                })
+                });
+                (declined, 0)
             };
             rows.push(EngineRow {
                 engine: engine.name().into(),
                 bound: capabilities.bound,
+                status: EngineStatus::classify(&outcome),
+                attempts,
                 outcome,
             });
         }
-        if let Some(cancelled) = rows
-            .iter()
-            .find(|r| matches!(r.outcome, Err(EngineError::Cancelled)))
-        {
-            let _ = cancelled;
+        // Only the *caller's* cancellation aborts the comparison.  A
+        // cancelled row whose flag we cannot observe (e.g. an injected
+        // spurious cancellation) merely degrades that engine; the survivors
+        // still reconcile.
+        if ctx.is_cancelled() {
             return Err(EngineError::Cancelled);
         }
         if !rows.iter().any(|r| r.outcome.is_ok()) {
@@ -1167,6 +1418,62 @@ impl Portfolio {
             )));
         }
         Ok(report)
+    }
+
+    /// Runs one member engine under the retry policy: transient failures are
+    /// re-attempted as-is, budget-truncated answers are re-attempted with
+    /// exponentially doubled budgets, and every attempt stays under the one
+    /// `shared_deadline`.  Returns the outcome (preferring a degraded `Ok`
+    /// from an earlier attempt over a final `Err`) and the attempt count.
+    fn run_with_retries(
+        &self,
+        engine: &dyn Engine,
+        model: &ArchitectureModel,
+        query: &Query,
+        ctx: &RunContext,
+        shared_deadline: Option<Instant>,
+    ) -> (Result<EngineReport, EngineError>, usize) {
+        let mut attempt_ctx = ctx.clone();
+        attempt_ctx.deadline = shared_deadline;
+        let mut attempts = 0usize;
+        let mut best_ok: Option<EngineReport> = None;
+        loop {
+            if shared_deadline.is_some_and(|d| Instant::now() >= d) {
+                return (best_ok.map(Ok).unwrap_or(Err(EngineError::TimedOut)), attempts);
+            }
+            attempts += 1;
+            let outcome = engine.run_isolated(model, query, &attempt_ctx);
+            let may_retry = attempts <= self.retry.max_retries;
+            match outcome {
+                Ok(report) => {
+                    // A truncated answer can only improve with a bigger
+                    // budget — and only when there is a context budget to
+                    // double (a truncation from the engine's *own* static
+                    // configuration would just repeat).
+                    let retry = may_retry
+                        && self.retry.retry_truncated
+                        && report.truncated
+                        && (attempt_ctx.budget.wall_clock.is_some()
+                            || attempt_ctx.budget.max_states.is_some());
+                    if !retry {
+                        return (Ok(report), attempts);
+                    }
+                    best_ok = Some(report);
+                }
+                Err(e) => {
+                    let retry = may_retry && self.retry.retry_transient && e.is_transient();
+                    if !retry {
+                        return (best_ok.map(Ok).unwrap_or(Err(e)), attempts);
+                    }
+                }
+            }
+            if let Some(b) = attempt_ctx.budget.wall_clock {
+                attempt_ctx.budget.wall_clock = Some(b.saturating_mul(2));
+            }
+            if let Some(s) = attempt_ctx.budget.max_states {
+                attempt_ctx.budget.max_states = Some(s.saturating_mul(2));
+            }
+        }
     }
 
     fn reconcile(&self, requirement: &str, rows: &[EngineRow]) -> RequirementComparison {
@@ -1261,6 +1568,10 @@ impl Engine for Portfolio {
     ) -> Result<EngineReport, EngineError> {
         let started = Instant::now();
         let comparison = self.compare(model, query, ctx)?;
+        let truncated = comparison
+            .rows
+            .iter()
+            .any(|r| r.status == EngineStatus::Truncated);
         Ok(EngineReport {
             engine: "portfolio".into(),
             query: query.clone(),
@@ -1277,6 +1588,7 @@ impl Engine for Portfolio {
             verdict: comparison.verdict,
             wall_time: started.elapsed(),
             states_stored: None,
+            truncated,
         })
     }
 }
@@ -1487,6 +1799,7 @@ mod tests {
                     verdict: None,
                     wall_time: Duration::ZERO,
                     states_stored: None,
+                    truncated: false,
                 })
             }
         }
@@ -1533,5 +1846,208 @@ mod tests {
         assert!(strict
             .compare(&model, &Query::WcrtAll, &RunContext::default())
             .is_err());
+    }
+
+    /// A fake engine whose `run` behavior is scripted per attempt.
+    struct Scripted<F: Fn(usize, &RunContext) -> Result<EngineReport, EngineError>> {
+        name: &'static str,
+        bound: BoundKind,
+        calls: std::sync::atomic::AtomicUsize,
+        script: F,
+    }
+
+    impl<F: Fn(usize, &RunContext) -> Result<EngineReport, EngineError>> Engine for Scripted<F> {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                bound: self.bound,
+                wcrt: true,
+                deadline_check: false,
+                queue_bounds: false,
+            }
+        }
+        fn run(
+            &self,
+            _model: &ArchitectureModel,
+            _query: &Query,
+            ctx: &RunContext,
+        ) -> Result<EngineReport, EngineError> {
+            let call = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (self.script)(call, ctx)
+        }
+    }
+
+    fn fixed_report(name: &str, model: &ArchitectureModel, est: Estimate) -> EngineReport {
+        EngineReport {
+            engine: name.into(),
+            query: Query::WcrtAll,
+            estimates: model
+                .requirements
+                .iter()
+                .map(|r| RequirementEstimate {
+                    requirement: r.name.clone(),
+                    estimate: est,
+                    deadline: r.deadline,
+                    meets_deadline: None,
+                })
+                .collect(),
+            verdict: None,
+            wall_time: Duration::ZERO,
+            states_stored: None,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn run_isolated_converts_panics_to_typed_errors() {
+        quiet_injected_panics();
+        let model = two_task_model();
+        let bomb = Scripted {
+            name: "bomb",
+            bound: BoundKind::Lower,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            script: |_, _: &RunContext| panic!("chaos-mock: engine detonated"),
+        };
+        let err = bomb
+            .run_isolated(&model, &Query::WcrtAll, &RunContext::default())
+            .unwrap_err();
+        match err {
+            EngineError::Panicked { engine, payload } => {
+                assert_eq!(engine, "bomb");
+                assert!(payload.contains("chaos-mock"));
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn portfolio_reconciles_survivors_around_a_panicking_engine() {
+        quiet_injected_panics();
+        let model = two_task_model();
+        let lo = Estimate::LowerBound(TimeValue::millis(10));
+        let hi = Estimate::UpperBound(TimeValue::millis(14));
+        let portfolio = Portfolio::new()
+            .with_engine(Box::new(Scripted {
+                name: "low",
+                bound: BoundKind::Lower,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+                script: move |_, _: &RunContext| Ok(fixed_report("low", &two_task_model(), lo)),
+            }))
+            .with_engine(Box::new(Scripted {
+                name: "bomb",
+                bound: BoundKind::Upper,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+                script: |_, _: &RunContext| panic!("chaos-mock: mid-portfolio panic"),
+            }))
+            .with_engine(Box::new(Scripted {
+                name: "high",
+                bound: BoundKind::Upper,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+                script: move |_, _: &RunContext| Ok(fixed_report("high", &two_task_model(), hi)),
+            }));
+        let report = portfolio
+            .compare(&model, &Query::WcrtAll, &RunContext::default())
+            .unwrap();
+        // The panicking engine is isolated as a degraded row...
+        let bomb = report.rows.iter().find(|r| r.engine == "bomb").unwrap();
+        assert_eq!(bomb.status, EngineStatus::Panicked);
+        assert!(matches!(bomb.outcome, Err(EngineError::Panicked { .. })));
+        // ...and the survivors still reconcile to the full bracket.
+        assert!(report.bracket_ok());
+        assert_eq!(
+            report.requirements[0].reconciled,
+            Estimate::Interval {
+                lo: TimeValue::millis(10),
+                hi: TimeValue::millis(14),
+            }
+        );
+        // The rendered report names the degraded status.
+        let rendered = report.to_string();
+        assert!(rendered.contains("panicked"));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_once_and_recover() {
+        let model = two_task_model();
+        let est = Estimate::LowerBound(TimeValue::millis(9));
+        let portfolio = Portfolio::new().with_engine(Box::new(Scripted {
+            name: "flaky",
+            bound: BoundKind::Lower,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            script: move |call, _: &RunContext| {
+                if call == 0 {
+                    Err(EngineError::Check(tempo_check::CheckError::Transient {
+                        detail: "first attempt wobbles".into(),
+                    }))
+                } else {
+                    Ok(fixed_report("flaky", &two_task_model(), est))
+                }
+            },
+        }));
+        let report = portfolio
+            .compare(&model, &Query::WcrtAll, &RunContext::default())
+            .unwrap();
+        let row = &report.rows[0];
+        assert_eq!(row.status, EngineStatus::Ok);
+        assert_eq!(row.attempts, 2, "one transient failure, one retry");
+        assert!(row.outcome.is_ok());
+    }
+
+    #[test]
+    fn truncated_results_retry_with_doubled_budgets() {
+        let model = two_task_model();
+        let mut portfolio = Portfolio::new().with_engine(Box::new(Scripted {
+            name: "budgeted",
+            bound: BoundKind::Lower,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            script: move |_, ctx: &RunContext| {
+                let m = two_task_model();
+                // Converges once the state budget has been doubled past 1000.
+                if ctx.budget.max_states.is_some_and(|s| s > 1_000) {
+                    Ok(fixed_report(
+                        "budgeted",
+                        &m,
+                        Estimate::LowerBound(TimeValue::millis(12)),
+                    ))
+                } else {
+                    let mut r =
+                        fixed_report("budgeted", &m, Estimate::LowerBound(TimeValue::millis(4)));
+                    r.truncated = true;
+                    Ok(r)
+                }
+            },
+        }));
+        portfolio.retry = RetryPolicy {
+            max_retries: 2,
+            retry_truncated: true,
+            retry_transient: true,
+        };
+        let ctx = RunContext::with_max_states(600);
+        let report = portfolio.compare(&model, &Query::WcrtAll, &ctx).unwrap();
+        let row = &report.rows[0];
+        // 600 → truncated, 1200 → converged.
+        assert_eq!(row.attempts, 2);
+        assert_eq!(row.status, EngineStatus::Ok);
+        assert!(!row.outcome.as_ref().unwrap().truncated);
+        // Without the policy the first truncated answer is kept.
+        let lenient = Portfolio::new().with_engine(Box::new(Scripted {
+            name: "budgeted",
+            bound: BoundKind::Lower,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            script: move |_, _: &RunContext| {
+                let m = two_task_model();
+                let mut r =
+                    fixed_report("budgeted", &m, Estimate::LowerBound(TimeValue::millis(4)));
+                r.truncated = true;
+                Ok(r)
+            },
+        }));
+        let report = lenient.compare(&model, &Query::WcrtAll, &ctx).unwrap();
+        assert_eq!(report.rows[0].attempts, 1);
+        assert_eq!(report.rows[0].status, EngineStatus::Truncated);
     }
 }

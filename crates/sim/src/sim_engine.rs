@@ -3,8 +3,8 @@
 use crate::engine::{simulate, SimConfig, SimError, SimReport};
 use std::time::Instant;
 use tempo_arch::engine::{
-    BoundKind, Capabilities, Engine, EngineError, EngineReport, Query, RequirementEstimate,
-    RunContext,
+    poll_entry_fault, BoundKind, Capabilities, Engine, EngineError, EngineReport, Query,
+    RequirementEstimate, RunContext,
 };
 use tempo_arch::model::ArchitectureModel;
 use tempo_arch::time::TimeValue;
@@ -81,17 +81,25 @@ impl Engine for SimEngine {
             });
         }
         let started = Instant::now();
-        let deadline = ctx.budget.wall_clock.map(|b| started + b);
+        let mut deadline = ctx.effective_deadline(started);
+        if poll_entry_fault(ctx)? {
+            // Injected budget exhaustion: degrade to the shortest campaign —
+            // the first run still executes, so the answer stays a sound
+            // (if loose) lower bound.
+            deadline = Some(started);
+        }
 
         // Run the campaign one run at a time so the budget and cancellation
         // are honored between runs; seeds match `simulate` with `runs` runs,
         // so an unbudgeted engine run reproduces the plain campaign exactly.
         let mut merged: Option<Vec<SimReport>> = None;
+        let mut truncated = false;
         for run in 0..self.cfg.runs.max(1) {
             if ctx.is_cancelled() {
                 return Err(EngineError::Cancelled);
             }
             if run > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+                truncated = true;
                 break;
             }
             let reports = simulate(
@@ -146,6 +154,7 @@ impl Engine for SimEngine {
             verdict,
             wall_time: started.elapsed(),
             states_stored: None,
+            truncated,
         })
     }
 }

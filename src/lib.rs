@@ -67,9 +67,35 @@
 //!
 //! Long-running queries take a [`RunContext`](arch::engine::RunContext) with
 //! a wall-clock/state budget (a budgeted exact query degrades to a
-//! well-formed *lower bound* instead of failing), a cancellation flag and a
-//! progress callback, all threaded down into the model checker's sequential
-//! and parallel explorers.
+//! well-formed *lower bound* instead of failing), a cancellation flag, an
+//! optional shared deadline and a progress callback, all threaded down into
+//! the model checker's sequential and parallel explorers.
+//!
+//! ## Robustness: fault isolation and fault injection
+//!
+//! The portfolio is built to *never return a wrong answer* — only a slower,
+//! looser, or explicitly declined one. Every engine runs behind
+//! [`Engine::run_isolated`](arch::engine::Engine::run_isolated), which
+//! converts a panic into a typed
+//! [`EngineError::Panicked`](arch::engine::EngineError::Panicked); a worker
+//! thread panicking inside the parallel explorer is detected, its work
+//! requeued, and the exploration finishes or fails cleanly. A failing engine
+//! degrades to a per-engine [`EngineStatus`](arch::engine::EngineStatus) row
+//! in the [`ComparisonReport`](arch::engine::ComparisonReport) while the
+//! survivors still reconcile, and transient failures or budget-truncated
+//! answers are retried under a [`RetryPolicy`](arch::engine::RetryPolicy)
+//! with exponentially doubled budgets beneath one shared deadline.
+//!
+//! These paths are testable deterministically: a seeded
+//! [`FaultPlan`](check::FaultPlan) threaded through
+//! [`RunContext::faults`](arch::engine::RunContext) injects panics, spurious
+//! cancellations, budget exhaustion and transient errors at instrumented
+//! points in the engines and the explorers (engine entry, store insert,
+//! successor generation, progress callbacks) — zero-cost when absent. The
+//! chaos differential harness (`tests/chaos_differential.rs`) runs the full
+//! portfolio under a matrix of fault seeds and asserts every answer is the
+//! fault-free baseline, a sound bound of it, or a typed error — never a
+//! divergent verdict.
 #![forbid(unsafe_code)]
 
 /// Difference bound matrices (clock zones).
