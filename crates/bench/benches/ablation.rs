@@ -15,7 +15,8 @@ use tempo_arch::model::{
     ArchitectureModel, BusArbitration, EventModel, MeasurePoint, Requirement, Scenario,
     SchedulingPolicy, Step,
 };
-use tempo_arch::{analyze_requirement, AnalysisConfig, TimeValue};
+use tempo_arch::engine::Session;
+use tempo_arch::{AnalysisConfig, TimeValue};
 use tempo_check::{Explorer, ParallelOptions, SearchOptions};
 use tempo_ta::{ClockRef, System, SystemBuilder, Update, VarExprExt};
 
@@ -146,11 +147,8 @@ fn bench_queue_capacity(c: &mut Criterion) {
         let (model, cfg) = gateway(capacity);
         group.bench_function(format!("capacity_{capacity}"), |b| {
             b.iter(|| {
-                black_box(
-                    analyze_requirement(&model, "alarm latency", &cfg)
-                        .unwrap()
-                        .wcrt,
-                )
+                let session = Session::new(&model, cfg.clone()).unwrap();
+                black_box(session.wcrt("alarm latency").unwrap().wcrt)
             })
         });
     }

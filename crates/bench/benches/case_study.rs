@@ -5,7 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tempo_arch::casestudy::{radio_navigation, EventModelColumn, ScenarioCombo};
-use tempo_arch::{analyze_requirement, generate, AnalysisConfig, GeneratorOptions};
+use tempo_arch::engine::Session;
+use tempo_arch::{generate, AnalysisConfig, GeneratorOptions};
 use tempo_bench::quick_params;
 
 fn bench_case_study(c: &mut Criterion) {
@@ -31,14 +32,10 @@ fn bench_case_study(c: &mut Criterion) {
         group.bench_function(format!("wcrt/AL+TMC/{}", column.label()), |b| {
             let model = radio_navigation(ScenarioCombo::AddressLookupWithTmc, column, &params);
             b.iter(|| {
-                black_box(
-                    analyze_requirement(
-                        &model,
-                        "HandleTMC (+ AddressLookup)",
-                        &AnalysisConfig::default(),
-                    )
-                    .unwrap(),
-                )
+                // A fresh session per iteration keeps generation inside the
+                // measured work, like the historical free-function path.
+                let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+                black_box(session.wcrt("HandleTMC (+ AddressLookup)").unwrap())
             })
         });
     }
@@ -50,14 +47,8 @@ fn bench_case_study(c: &mut Criterion) {
             &params,
         );
         b.iter(|| {
-            black_box(
-                analyze_requirement(
-                    &model,
-                    "K2A (ChangeVolume + HandleTMC)",
-                    &AnalysisConfig::default(),
-                )
-                .unwrap(),
-            )
+            let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+            black_box(session.wcrt("K2A (ChangeVolume + HandleTMC)").unwrap())
         })
     });
     group.finish();

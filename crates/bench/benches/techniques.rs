@@ -4,7 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tempo_arch::casestudy::{radio_navigation, EventModelColumn, ScenarioCombo};
-use tempo_arch::{analyze_requirement, AnalysisConfig};
+use tempo_arch::engine::{Engine, Query, RunContext, Session};
+use tempo_arch::AnalysisConfig;
 use tempo_bench::quick_params;
 use tempo_sim::{simulate, SimConfig};
 
@@ -21,7 +22,8 @@ fn bench_techniques(c: &mut Criterion) {
 
     group.bench_function("timed_automata_exact", |b| {
         b.iter(|| {
-            black_box(analyze_requirement(&model, requirement, &AnalysisConfig::default()).unwrap())
+            let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+            black_box(session.wcrt(requirement).unwrap())
         })
     });
     group.bench_function("simulation_60s_3runs", |b| {
@@ -32,11 +34,15 @@ fn bench_techniques(c: &mut Criterion) {
         };
         b.iter(|| black_box(simulate(&model, &cfg).unwrap()))
     });
+    let query = Query::Wcrt {
+        requirement: requirement.into(),
+    };
+    let ctx = RunContext::default();
     group.bench_function("symta_busy_window", |b| {
-        b.iter(|| black_box(tempo_symta::analyze_requirement(&model, requirement).unwrap()))
+        b.iter(|| black_box(tempo_symta::SymtaEngine.run(&model, &query, &ctx).unwrap()))
     });
     group.bench_function("mpa_real_time_calculus", |b| {
-        b.iter(|| black_box(tempo_rtc::analyze_requirement(&model, requirement).unwrap()))
+        b.iter(|| black_box(tempo_rtc::RtcEngine.run(&model, &query, &ctx).unwrap()))
     });
     group.finish();
 }

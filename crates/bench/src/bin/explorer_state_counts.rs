@@ -16,7 +16,8 @@
 //! output (default `BENCH_explorer.json` in the working directory).
 
 use tempo_arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
-use tempo_arch::{analyze_requirement, AnalysisConfig, StorageKind, WcrtReport};
+use tempo_arch::engine::Session;
+use tempo_arch::{AnalysisConfig, StorageKind, WcrtReport};
 use tempo_check::{SearchOptions, SearchOrder};
 
 struct Row {
@@ -131,7 +132,7 @@ fn main() {
                 StorageKind::Flat => "flat",
                 StorageKind::Federation => "federation",
             };
-            match analyze_requirement(&model, requirement, &cfg) {
+            match Session::new(&model, cfg).and_then(|s| s.wcrt(requirement)) {
                 Ok(report) => {
                     let wcrt = report
                         .wcrt_ms()

@@ -1,0 +1,214 @@
+//! Incremental-sweep benchmark: quantifies what the [`AnalysisDb`] cone
+//! cache buys during design-space exploration, and writes the numbers to a
+//! machine-readable `BENCH_sweep.json`.
+//!
+//! The workload is a two-subsystem model (two processors that share nothing)
+//! swept over a `grid × grid` cartesian product of the two scenarios'
+//! stimulus periods.  Both axes stay on the model's 1 ms duration grid, so
+//! the quantizer tick — which is part of every cone, because a tick change
+//! soundly invalidates everything — is the same at every design point, and
+//! each requirement's input cone covers only its own subsystem.  The sweep's
+//! `2·grid²` WCRT queries therefore collapse to `2·grid` distinct cones: the
+//! cache pays off *within* a single cold sweep, a warm re-run answers every
+//! query from the cache, and after an edit to one subsystem only that
+//! subsystem's `grid` cones re-explore.  A from-scratch sweep (a throwaway
+//! database per design point, the pre-PR-7 behaviour) is timed as the
+//! baseline for the reported speedup.
+//!
+//! Run with `cargo run --release -p tempo_bench --bin sweep_incremental`;
+//! pass `--grid N` to change the grid side (default 32, i.e. 1024 design
+//! points; CI uses a small grid) and `--json <path>` to redirect the JSON
+//! output (default `BENCH_sweep.json` in the working directory).
+
+use std::time::Instant;
+use tempo_arch::engine::RunContext;
+use tempo_arch::explore::Sweep;
+use tempo_arch::model::{
+    ArchitectureModel, EventModel, MeasurePoint, Requirement, Scenario, SchedulingPolicy, Step,
+};
+use tempo_arch::{AnalysisConfig, AnalysisDb, DbStats, TimeValue};
+
+/// Two independent subsystems: requirement `rA` only depends on `CPU_A` and
+/// scenario `sA`, requirement `rB` only on `CPU_B` and `sB`.  All durations
+/// sit on a 1 ms grid so sweeping periods never changes the quantizer tick.
+fn two_subsystem_model() -> ArchitectureModel {
+    let mut m = ArchitectureModel::new("sweep-incremental");
+    for (i, label) in ["A", "B"].into_iter().enumerate() {
+        let cpu = m.add_processor(
+            format!("CPU_{label}"),
+            1,
+            SchedulingPolicy::FixedPriorityPreemptive,
+        );
+        let sid = m.add_scenario(Scenario {
+            name: format!("s{label}"),
+            stimulus: EventModel::Periodic {
+                period: TimeValue::millis(20),
+            },
+            priority: i as u32,
+            steps: vec![
+                Step::Execute {
+                    operation: format!("stage1{label}"),
+                    instructions: 1_000, // 1 ms at 1 MIPS
+                    on: cpu,
+                },
+                Step::Execute {
+                    operation: format!("stage2{label}"),
+                    instructions: 3_000, // 3 ms at 1 MIPS
+                    on: cpu,
+                },
+            ],
+        });
+        m.add_requirement(Requirement {
+            name: format!("r{label}"),
+            scenario: sid,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(1),
+            deadline: TimeValue::millis(60),
+        });
+    }
+    m
+}
+
+fn sweep_over(base: ArchitectureModel, grid: usize) -> Sweep {
+    // Whole-millisecond periods keep the quantizer tick at 1 ms everywhere;
+    // a MIPS axis would scale that subsystem's durations and so shift the
+    // tick, putting every design point in every cone (sound but
+    // uninteresting here — the tick sensitivity has its own unit tests).
+    let periods = |from: i128| {
+        (0..grid as i128)
+            .map(|i| TimeValue::millis(from + i))
+            .collect::<Vec<_>>()
+    };
+    Sweep::new(base)
+        .vary_stimulus_period("sA", periods(20))
+        .vary_stimulus_period("sB", periods(20))
+}
+
+struct Phase {
+    name: &'static str,
+    queries: u64,
+    stats: DbStats,
+    wall_seconds: f64,
+}
+
+fn to_json(grid: usize, phases: &[Phase], scratch_seconds: f64, speedup: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"grid\": {grid},\n"));
+    out.push_str(&format!("  \"design_points\": {},\n", grid * grid));
+    out.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"queries\": {}, \"hits\": {}, \"misses\": {}, \
+             \"invalidations\": {}, \"generations\": {}, \"wall_seconds\": {:.6}}}{}\n",
+            p.name,
+            p.queries,
+            p.stats.hits,
+            p.stats.misses,
+            p.stats.invalidations,
+            p.stats.generations,
+            p.wall_seconds,
+            if i + 1 == phases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"from_scratch_seconds\": {scratch_seconds:.6},\n"
+    ));
+    out.push_str(&format!("  \"warm_speedup\": {speedup:.2}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let grid = args
+        .iter()
+        .position(|a| a == "--grid")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let base = two_subsystem_model();
+    let cfg = AnalysisConfig::default();
+    let ctx = RunContext::default();
+    let sweep = sweep_over(base.clone(), grid);
+    let points = grid * grid;
+    let queries = (2 * points) as u64;
+    println!("sweep_incremental: {points} design points ({grid}×{grid}), {queries} WCRT queries");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>14} {:>12} {:>10}",
+        "phase", "queries", "hits", "misses", "invalidations", "generations", "secs"
+    );
+    let mut phases: Vec<Phase> = Vec::new();
+    let db = AnalysisDb::new(cfg.clone());
+    let run_phase = |name: &'static str, sweep: &Sweep| {
+        db.reset_stats();
+        let start = Instant::now();
+        sweep.run_with(&db, 0, &ctx).expect("sweep succeeds");
+        let phase = Phase {
+            name,
+            queries,
+            stats: db.stats(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        };
+        println!(
+            "{:<28} {:>8} {:>8} {:>8} {:>14} {:>12} {:>10.3}",
+            phase.name,
+            phase.queries,
+            phase.stats.hits,
+            phase.stats.misses,
+            phase.stats.invalidations,
+            phase.stats.generations,
+            phase.wall_seconds,
+        );
+        phase
+    };
+
+    // Cold: the 2·grid² queries collapse onto 2·grid distinct cones.
+    phases.push(run_phase("cold", &sweep));
+    // Warm: the identical sweep answers every query from the cache.
+    phases.push(run_phase("warm (no edit)", &sweep));
+    // Edit subsystem B (still on the 1 ms duration grid): the grid rB cones
+    // change and re-explore, all grid² rA queries and the rB repeats still
+    // answer from the cache.
+    let mut edited = base.clone();
+    if let Step::Execute { instructions, .. } = &mut edited.scenarios[1].steps[1] {
+        *instructions = 5_000;
+    }
+    phases.push(run_phase("warm (subsystem B edited)", &sweep_over(edited, grid)));
+
+    // From-scratch baseline: a throwaway database per design point, so no
+    // cone is ever shared — the pre-incremental sweep cost.
+    let scratch_start = Instant::now();
+    for point in sweep.points().expect("points") {
+        let fresh = AnalysisDb::new(cfg.clone());
+        for req in ["rA", "rB"] {
+            fresh.wcrt_in(&point.model, req, &ctx).expect("analysis succeeds");
+        }
+    }
+    let scratch_seconds = scratch_start.elapsed().as_secs_f64();
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>14} {:>12} {:>10.3}",
+        "from scratch", queries, 0, queries, 0, queries, scratch_seconds
+    );
+
+    let warm_seconds = phases[1].wall_seconds.max(1e-9);
+    let speedup = scratch_seconds / warm_seconds;
+    println!("\nwarm sweep speedup over from-scratch: {speedup:.1}×");
+    assert!(
+        phases[1].stats.misses < phases[0].stats.queries(),
+        "warm sweep must re-run strictly fewer queries than the cold sweep"
+    );
+
+    let json = to_json(grid, &phases, scratch_seconds, speedup);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

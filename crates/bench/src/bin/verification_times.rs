@@ -10,7 +10,8 @@
 
 use std::time::Instant;
 use tempo_arch::casestudy::{radio_navigation, CaseStudyParams, EventModelColumn, ScenarioCombo};
-use tempo_arch::{analyze_requirement, AnalysisConfig};
+use tempo_arch::engine::Session;
+use tempo_arch::AnalysisConfig;
 use tempo_bench::quick_params;
 use tempo_check::{SearchOptions, SearchOrder};
 
@@ -58,7 +59,7 @@ fn main() {
                 };
                 let model = radio_navigation(combo, column, &params);
                 let start = Instant::now();
-                match analyze_requirement(&model, requirement, &cfg) {
+                match Session::new(&model, cfg).and_then(|s| s.wcrt(requirement)) {
                     Ok(report) => {
                         let value = match report.wcrt_ms() {
                             Some(ms) => format!("{ms:.3} ms (exact)"),

@@ -10,6 +10,29 @@ use tempo_check::{
     CheckError, ExplorationStats, Explorer, ParallelOptions, SearchOptions, TargetSpec,
 };
 
+/// The kind of named model entity a reference failed to resolve to — used by
+/// [`ArchError::UnknownEntity`] so callers (and error messages) can tell a
+/// misspelled processor from a misspelled bus or scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A [`Processor`](crate::model::Processor) name.
+    Processor,
+    /// A [`Bus`](crate::model::Bus) name.
+    Bus,
+    /// A [`Scenario`](crate::model::Scenario) name.
+    Scenario,
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EntityKind::Processor => "processor",
+            EntityKind::Bus => "bus",
+            EntityKind::Scenario => "scenario",
+        })
+    }
+}
+
 /// Errors of the analysis layer.
 #[derive(Debug)]
 pub enum ArchError {
@@ -19,6 +42,14 @@ pub enum ArchError {
     Check(CheckError),
     /// A requirement name could not be resolved.
     UnknownRequirement {
+        /// The requested name.
+        name: String,
+    },
+    /// A named processor, bus or scenario could not be resolved (e.g. a sweep
+    /// axis targeting an entity the model does not contain).
+    UnknownEntity {
+        /// What kind of entity the name was expected to resolve to.
+        kind: EntityKind,
         /// The requested name.
         name: String,
     },
@@ -37,6 +68,9 @@ impl fmt::Display for ArchError {
             ArchError::Check(e) => write!(f, "model checking failed: {e}"),
             ArchError::UnknownRequirement { name } => {
                 write!(f, "unknown requirement `{name}`")
+            }
+            ArchError::UnknownEntity { kind, name } => {
+                write!(f, "unknown {kind} `{name}`")
             }
             ArchError::QueueOverflow { detail } => write!(
                 f,
@@ -162,6 +196,11 @@ impl fmt::Display for WcrtReport {
 /// [`Query::Wcrt`](crate::engine::Query::Wcrt).  Code issuing several queries
 /// against the same model should hold a `Session` instead, which caches the
 /// generated network.
+#[deprecated(
+    since = "0.1.0",
+    note = "open a `Session` and call `wcrt`, or use `incremental::AnalysisDb` \
+            for repeated queries over edited models"
+)]
 pub fn analyze_requirement(
     model: &ArchitectureModel,
     requirement_name: &str,
@@ -178,6 +217,14 @@ pub fn analyze_requirement(
 /// [`Query::WcrtAll`](crate::engine::Query::WcrtAll) instead generates a
 /// single multi-observer network and answers every requirement in one
 /// exploration.
+#[deprecated(
+    since = "0.1.0",
+    note = "open a `Session` and call `wcrt_all`.  Historical contract kept by this \
+            shim: one dedicated network and one report with its own exploration \
+            statistics per requirement (`set_batch_wcrt_all(false)`), unlike the \
+            session default, which explores a single batched multi-observer network \
+            whose statistics are shared"
+)]
 pub fn analyze_all(
     model: &ArchitectureModel,
     cfg: &AnalysisConfig,
@@ -302,6 +349,10 @@ pub fn analyze_requirement_binary_search(
 ///
 /// Thin shim over the engine API's
 /// [`Query::QueueBounds`](crate::engine::Query::QueueBounds).
+#[deprecated(
+    since = "0.1.0",
+    note = "open a `Session` and call `queue_check` (or run `Query::QueueBounds`)"
+)]
 pub fn check_queues_bounded(
     model: &ArchitectureModel,
     cfg: &AnalysisConfig,
@@ -310,6 +361,7 @@ pub fn check_queues_bounded(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // The shim module's own tests exercise the shims.
 mod tests {
     use super::*;
     use crate::model::{

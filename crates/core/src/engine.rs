@@ -549,11 +549,25 @@ impl From<ArchError> for EngineError {
         match e {
             ArchError::Model(m) => EngineError::Model(m.to_string()),
             ArchError::UnknownRequirement { name } => EngineError::UnknownRequirement(name),
+            e @ ArchError::UnknownEntity { .. } => EngineError::Model(e.to_string()),
             ArchError::QueueOverflow { detail } => EngineError::Overload(detail),
             ArchError::Check(CheckError::Cancelled) => EngineError::Cancelled,
             ArchError::Check(e) => EngineError::Check(e),
         }
     }
+}
+
+/// Overlays a [`RunContext`]'s budget and hooks onto an analysis
+/// configuration — the single translation shared by [`Session::run`] and the
+/// incremental database's query entry points.
+pub(crate) fn apply_run_context(cfg: &AnalysisConfig, ctx: &RunContext) -> AnalysisConfig {
+    let mut cfg = cfg.clone();
+    cfg.search.hook = ctx.search_hook();
+    if let Some(limit) = ctx.budget.max_states {
+        cfg.search.max_states = Some(cfg.search.max_states.map_or(limit, |l| l.min(limit)));
+        cfg.search.truncate_on_limit = true;
+    }
+    cfg
 }
 
 /// Polls the [`FaultSite::EngineEntry`] instrumentation point on behalf of an
@@ -976,13 +990,7 @@ impl<'m> Session<'m> {
 
     /// The configuration with the run context's budget and hooks applied.
     fn effective_config(&self, ctx: &RunContext) -> AnalysisConfig {
-        let mut cfg = self.cfg.clone();
-        cfg.search.hook = ctx.search_hook();
-        if let Some(limit) = ctx.budget.max_states {
-            cfg.search.max_states = Some(cfg.search.max_states.map_or(limit, |l| l.min(limit)));
-            cfg.search.truncate_on_limit = true;
-        }
-        cfg
+        apply_run_context(&self.cfg, ctx)
     }
 
     /// Answers a typed [`Query`] — the session-level form of

@@ -10,6 +10,14 @@
 //! analyses every requirement of every point — optionally across worker
 //! threads, since the points are independent.
 //!
+//! Since PR 7 the sweep is a thin driver over the incremental
+//! [`AnalysisDb`](crate::incremental::AnalysisDb): queries whose input cone
+//! is unchanged between design points (or between successive sweeps over an
+//! edited model, via [`Sweep::run_with`]) answer from cache instead of
+//! re-exploring, and [`Sweep::run_with`] threads a
+//! [`RunContext`](crate::engine::RunContext) — budgets, cancellation,
+//! progress — into every exploration.
+//!
 //! ```
 //! use tempo_arch::prelude::*;
 //! use tempo_arch::explore::Sweep;
@@ -40,7 +48,9 @@
 //! assert_eq!(outcome.rows[2].reports[0].meets_deadline, Some(true));
 //! ```
 
-use crate::analysis::{analyze_requirement, AnalysisConfig, ArchError, WcrtReport};
+use crate::analysis::{AnalysisConfig, ArchError, EntityKind, WcrtReport};
+use crate::engine::RunContext;
+use crate::incremental::AnalysisDb;
 use crate::model::{ArchitectureModel, EventModel};
 use crate::time::TimeValue;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -92,8 +102,9 @@ impl Axis {
                     .processors
                     .iter_mut()
                     .find(|p| &p.name == processor)
-                    .ok_or_else(|| ArchError::UnknownRequirement {
-                        name: format!("processor `{processor}`"),
+                    .ok_or_else(|| ArchError::UnknownEntity {
+                        kind: EntityKind::Processor,
+                        name: processor.clone(),
                     })?;
                 p.mips = values[index];
                 Ok(format!("{processor}={} MIPS", values[index]))
@@ -103,8 +114,9 @@ impl Axis {
                     .buses
                     .iter_mut()
                     .find(|b| &b.name == bus)
-                    .ok_or_else(|| ArchError::UnknownRequirement {
-                        name: format!("bus `{bus}`"),
+                    .ok_or_else(|| ArchError::UnknownEntity {
+                        kind: EntityKind::Bus,
+                        name: bus.clone(),
                     })?;
                 b.bits_per_second = values[index];
                 Ok(format!("{bus}={} bit/s", values[index]))
@@ -114,8 +126,9 @@ impl Axis {
                     .scenarios
                     .iter_mut()
                     .find(|s| &s.name == scenario)
-                    .ok_or_else(|| ArchError::UnknownRequirement {
-                        name: format!("scenario `{scenario}`"),
+                    .ok_or_else(|| ArchError::UnknownEntity {
+                        kind: EntityKind::Scenario,
+                        name: scenario.clone(),
                     })?;
                 let v = values[index];
                 match &mut s.stimulus {
@@ -303,6 +316,12 @@ impl Sweep {
             } else {
                 labels.join(", ")
             };
+            // Each point gets a distinct model name: the name is the logical
+            // identity under which the incremental database tracks a query's
+            // cone across successive sweeps, so "the same design point after
+            // a base-model edit" must map to the same name while two
+            // different points must not.
+            model.name = format!("{}::{label}", self.base.name);
             points.push(DesignPoint { label, model });
         }
         Ok(points)
@@ -310,10 +329,34 @@ impl Sweep {
 
     /// Runs the sweep: analyses every requirement of every design point.
     ///
+    /// Thin driver over a throwaway [`AnalysisDb`]: even within one sweep the
+    /// cache pays off, since the cartesian product re-visits each axis value
+    /// many times and design points share most of their input cones.  To keep
+    /// the cache warm *across* sweeps (the edit–re-sweep loop of interactive
+    /// design-space exploration), hold an [`AnalysisDb`] and call
+    /// [`Sweep::run_with`].
+    ///
     /// `workers` bounds the number of concurrently analysed points (each
     /// point's analysis is independent); `0` selects the machine's available
     /// parallelism.
     pub fn run(&self, cfg: &AnalysisConfig, workers: usize) -> Result<SweepOutcome, ArchError> {
+        self.run_with(&AnalysisDb::new(cfg.clone()), workers, &RunContext::default())
+    }
+
+    /// Runs the sweep against a shared [`AnalysisDb`], threading a
+    /// [`RunContext`] (wall-clock/state budgets, cooperative cancellation,
+    /// progress callbacks) into every exploration.
+    ///
+    /// Queries whose input cone is already cached answer without exploring;
+    /// [`AnalysisDb::stats`] shows the hit/miss split afterwards.  A set
+    /// cancellation flag surfaces as
+    /// [`ArchError::Check`]`(`[`CheckError::Cancelled`](tempo_check::CheckError::Cancelled)`)`.
+    pub fn run_with(
+        &self,
+        db: &AnalysisDb,
+        workers: usize,
+        ctx: &RunContext,
+    ) -> Result<SweepOutcome, ArchError> {
         let points = self.points()?;
         let requirement_names: Vec<String> = match &self.requirements {
             Some(names) => names.clone(),
@@ -343,7 +386,7 @@ impl Sweep {
                     let mut reports = Vec::with_capacity(requirement_names.len());
                     let mut error = None;
                     for name in &requirement_names {
-                        match analyze_requirement(&point.model, name, cfg) {
+                        match db.wcrt_in(&point.model, name, ctx) {
                             Ok(rep) => reports.push(rep),
                             Err(e) => {
                                 error = Some(e);
@@ -443,6 +486,81 @@ mod tests {
     fn unknown_axis_target_is_an_error() {
         let sweep = Sweep::new(base_model()).vary_processor_mips("GPU", [1]);
         assert!(sweep.points().is_err());
+    }
+
+    #[test]
+    fn unknown_axis_targets_name_their_entity_kind() {
+        let cases = [
+            (
+                Sweep::new(base_model()).vary_processor_mips("GPU", [1]),
+                EntityKind::Processor,
+                "GPU",
+            ),
+            (
+                Sweep::new(base_model()).vary_bus_bit_rate("CAN", [1]),
+                EntityKind::Bus,
+                "CAN",
+            ),
+            (
+                Sweep::new(base_model())
+                    .vary_stimulus_period("ghost", [TimeValue::millis(1)]),
+                EntityKind::Scenario,
+                "ghost",
+            ),
+        ];
+        for (sweep, expected_kind, expected_name) in cases {
+            let err = sweep.points().unwrap_err();
+            let ArchError::UnknownEntity { kind, name } = &err else {
+                panic!("expected UnknownEntity, got {err}");
+            };
+            assert_eq!(*kind, expected_kind);
+            assert_eq!(name, expected_name);
+            // The message names the kind and the entity, not a pseudo
+            // requirement.
+            let msg = err.to_string();
+            assert!(msg.contains(&format!("unknown {expected_kind} `{expected_name}`")), "{msg}");
+        }
+    }
+
+    #[test]
+    fn warm_database_reruns_strictly_fewer_queries() {
+        let sweep = Sweep::new(base_model()).vary_processor_mips("CPU", [5, 10, 20]);
+        let db = AnalysisDb::new(AnalysisConfig::default());
+        let cold = sweep.run_with(&db, 1, &RunContext::default()).unwrap();
+        let cold_stats = db.stats();
+        assert_eq!(cold_stats.misses, 3);
+        // Same sweep again: every cone is cached, nothing re-explores.
+        db.reset_stats();
+        let warm = sweep.run_with(&db, 1, &RunContext::default()).unwrap();
+        let warm_stats = db.stats();
+        assert_eq!(warm_stats.misses, 0);
+        assert_eq!(warm_stats.hits, 3);
+        for (a, b) in cold.rows.iter().zip(&warm.rows) {
+            assert_eq!(a.reports[0].wcrt, b.reports[0].wcrt);
+        }
+        // Re-running the identical sweep is a no-op edit per design point:
+        // same cones, so nothing is invalidated either.
+        db.reset_stats();
+        sweep.run_with(&db, 1, &RunContext::default()).unwrap();
+        assert_eq!(db.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn cancelled_context_aborts_the_sweep() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let sweep = Sweep::new(base_model()).vary_processor_mips("CPU", [5, 10, 20]);
+        let ctx = RunContext {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            ..RunContext::default()
+        };
+        let err = sweep
+            .run_with(&AnalysisDb::new(AnalysisConfig::default()), 1, &ctx)
+            .unwrap_err();
+        assert!(
+            matches!(err, ArchError::Check(tempo_check::CheckError::Cancelled)),
+            "{err}"
+        );
     }
 
     #[test]

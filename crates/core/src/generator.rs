@@ -27,7 +27,7 @@ use tempo_ta::{
 };
 
 /// Options controlling the translation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct GeneratorOptions {
     /// Capacity of every event queue (the counters have range
     /// `0..=queue_capacity`); the checker reports an error if a queue
@@ -1070,7 +1070,8 @@ mod tests {
 
     #[test]
     fn tdma_wcrt_includes_waiting_for_the_slot() {
-        use crate::analysis::{analyze_requirement, AnalysisConfig};
+        use crate::analysis::AnalysisConfig;
+        use crate::engine::Session;
         // Two scenarios, each sending a 1 ms message over a TDMA bus with
         // 2 ms slots (cycle = 4 ms).  The worst case for scenario `a` is an
         // arrival just after its send window closed: it waits one full cycle
@@ -1109,7 +1110,9 @@ mod tests {
             });
         }
         let cfg = AnalysisConfig::default();
-        let wcrt_a = analyze_requirement(&m, "a latency", &cfg)
+        let wcrt_a = Session::new(&m, cfg.clone())
+            .unwrap()
+            .wcrt("a latency")
             .unwrap()
             .wcrt
             .expect("exact");
@@ -1118,7 +1121,9 @@ mod tests {
         // message: the TDMA bound must dominate it.
         let mut fcfs = m.clone();
         fcfs.buses[0].arbitration = BusArbitration::FcfsNd;
-        let wcrt_fcfs = analyze_requirement(&fcfs, "a latency", &cfg)
+        let wcrt_fcfs = Session::new(&fcfs, cfg)
+            .unwrap()
+            .wcrt("a latency")
             .unwrap()
             .wcrt
             .expect("exact");

@@ -19,6 +19,11 @@
 //!   the paper's patterns (resource, bus, environment and observer automata),
 //! * [`analysis`] — the WCRT analysis driver (one-pass supremum extraction
 //!   and the paper's binary-search procedure),
+//! * [`engine`] — the typed query surface ([`engine::Session`], [`engine::Query`],
+//!   [`engine::Portfolio`]) every workload flows through,
+//! * [`incremental`] — the memoizing [`incremental::AnalysisDb`]: derived
+//!   artifacts keyed by input-cone content hashes, for interactive-latency
+//!   design-space exploration,
 //! * [`casestudy`] — the in-car radio navigation system of the paper.
 //!
 //! ## Example
@@ -48,7 +53,8 @@
 //! });
 //!
 //! // Exact WCRT via the timed-automata analysis.
-//! let report = analyze_requirement(&model, "sensor latency", &AnalysisConfig::default()).unwrap();
+//! let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+//! let report = session.wcrt("sensor latency").unwrap();
 //! assert_eq!(report.wcrt, Some(TimeValue::millis(2)));
 //! assert_eq!(report.meets_deadline, Some(true));
 //! ```
@@ -60,19 +66,23 @@ pub mod casestudy;
 pub mod engine;
 pub mod explore;
 pub mod generator;
+pub mod incremental;
 pub mod model;
 pub mod time;
 pub mod transform;
 
+#[allow(deprecated)]
+pub use analysis::{analyze_all, analyze_requirement, check_queues_bounded};
 pub use analysis::{
-    analyze_all, analyze_generated, analyze_requirement, analyze_requirement_binary_search,
-    check_queues_bounded, AnalysisConfig, ArchError, WcrtReport,
+    analyze_generated, analyze_requirement_binary_search, AnalysisConfig, ArchError, EntityKind,
+    WcrtReport,
 };
 pub use engine::{
     BoundKind, Budget, Capabilities, ComparisonReport, Engine, EngineError, EngineReport,
     Estimate, Portfolio, Query, RequirementEstimate, RunContext, Session, TaEngine,
 };
 pub use explore::{DesignPoint, Sweep, SweepOutcome, SweepRow};
+pub use incremental::{AnalysisDb, DbStats};
 pub use generator::{generate, generate_measuring, GeneratedModel, GeneratorOptions, ObserverRefs};
 pub use model::{
     ArchitectureModel, Bus, BusArbitration, BusId, EventModel, MeasurePoint, ModelError,
@@ -84,10 +94,10 @@ pub use transform::fragment_transfers;
 
 /// Convenient glob import for examples and downstream users.
 pub mod prelude {
-    pub use crate::analysis::{
-        analyze_all, analyze_requirement, analyze_requirement_binary_search, AnalysisConfig,
-        WcrtReport,
-    };
+    #[allow(deprecated)]
+    pub use crate::analysis::{analyze_all, analyze_requirement};
+    pub use crate::analysis::{analyze_requirement_binary_search, AnalysisConfig, WcrtReport};
+    pub use crate::incremental::{AnalysisDb, DbStats};
     pub use crate::casestudy::{
         radio_navigation, radio_navigation_variant, ArchitectureVariant, CaseStudyParams,
         EventModelColumn, ScenarioCombo,

@@ -23,7 +23,7 @@ pub struct BusId(pub usize);
 pub struct ScenarioId(pub usize);
 
 /// Scheduling policy of a processor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchedulingPolicy {
     /// Non-deterministic, non-preemptive scheduling (the basic automaton of
     /// Fig. 4): any pending operation may be served next; service runs to
@@ -39,7 +39,7 @@ pub enum SchedulingPolicy {
 }
 
 /// Arbitration policy of a communication bus.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BusArbitration {
     /// Non-deterministic choice among pending messages; transfers are never
     /// preempted (the automaton of Fig. 6, resembling e.g. RS-485).
@@ -64,7 +64,7 @@ pub enum BusArbitration {
 }
 
 /// A processing resource of the deployment diagram.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Processor {
     /// Name, e.g. `"MMI"`.
     pub name: String,
@@ -75,7 +75,7 @@ pub struct Processor {
 }
 
 /// A communication resource of the deployment diagram.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Bus {
     /// Name, e.g. `"BUS"`.
     pub name: String,
@@ -87,7 +87,7 @@ pub struct Bus {
 
 /// One step of a scenario (one lifeline activation or message of the sequence
 /// diagram).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Step {
     /// Execution of an operation on a processor.
     Execute {
@@ -121,7 +121,7 @@ impl Step {
 
 /// The event (arrival) model of a scenario's external stimulus — the five
 /// models of Fig. 7 and Fig. 8.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EventModel {
     /// Strictly periodic events with a known offset `F` for the first event
     /// (Fig. 7a); `offset = 0` models fully synchronous environments (the
@@ -216,7 +216,7 @@ impl EventModel {
 
 /// A scenario: an external stimulus plus the chain of steps it triggers
 /// (a UML sequence diagram annotated with performance data).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Scenario {
     /// Name, e.g. `"ChangeVolume"`.
     pub name: String,
@@ -230,7 +230,7 @@ pub struct Scenario {
 }
 
 /// A point in a scenario between which a latency requirement is measured.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MeasurePoint {
     /// The instant the external stimulus is generated.
     Stimulus,
@@ -240,7 +240,7 @@ pub enum MeasurePoint {
 }
 
 /// An end-to-end (or partial) latency requirement on a scenario.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Requirement {
     /// Name, e.g. `"Vol K2V"`.
     pub name: String,

@@ -115,7 +115,8 @@ pub fn fragment_transfers(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::{analyze_requirement, AnalysisConfig};
+    use crate::analysis::AnalysisConfig;
+    use crate::engine::Session;
     use crate::model::{BusArbitration, EventModel, SchedulingPolicy};
     use crate::time::TimeValue;
 
@@ -223,11 +224,15 @@ mod tests {
         let cfg = AnalysisConfig::default();
         let whole = contention_model(BusArbitration::FixedPriority);
         let fragmented = fragment_transfers(&whole, BusId(0), 20).unwrap();
-        let wcrt_whole = analyze_requirement(&whole, "alarm latency", &cfg)
+        let wcrt_whole = Session::new(&whole, cfg.clone())
+            .unwrap()
+            .wcrt("alarm latency")
             .unwrap()
             .wcrt
             .expect("exact");
-        let wcrt_frag = analyze_requirement(&fragmented, "alarm latency", &cfg)
+        let wcrt_frag = Session::new(&fragmented, cfg)
+            .unwrap()
+            .wcrt("alarm latency")
             .unwrap()
             .wcrt
             .expect("exact");

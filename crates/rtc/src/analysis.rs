@@ -171,7 +171,24 @@ fn step_delay(
 }
 
 /// Analyzes one requirement and returns the MPA end-to-end bound.
+///
+/// Prefer the engine seam: [`RtcEngine`](crate::RtcEngine) behind
+/// [`tempo_arch::engine::Engine`] answers the same query with typed
+/// estimates.
+#[deprecated(
+    since = "0.1.0",
+    note = "run `RtcEngine` through the `tempo_arch::engine::Engine` API"
+)]
 pub fn analyze_requirement(
+    model: &ArchitectureModel,
+    requirement_name: &str,
+) -> Result<RtcReport, RtcError> {
+    analyze_requirement_impl(model, requirement_name)
+}
+
+/// The non-deprecated body of [`analyze_requirement`], shared with
+/// [`RtcEngine`](crate::RtcEngine).
+pub(crate) fn analyze_requirement_impl(
     model: &ArchitectureModel,
     requirement_name: &str,
 ) -> Result<RtcReport, RtcError> {
@@ -210,11 +227,22 @@ pub fn analyze_requirement(
 }
 
 /// Analyzes every requirement of the model.
+#[deprecated(
+    since = "0.1.0",
+    note = "run `RtcEngine` through the `tempo_arch::engine::Engine` API \
+            (`Query::WcrtAll`)"
+)]
 pub fn analyze_all(model: &ArchitectureModel) -> Result<Vec<RtcReport>, RtcError> {
+    analyze_all_impl(model)
+}
+
+/// The non-deprecated body of [`analyze_all`], shared with
+/// [`RtcEngine`](crate::RtcEngine).
+pub(crate) fn analyze_all_impl(model: &ArchitectureModel) -> Result<Vec<RtcReport>, RtcError> {
     model
         .requirements
         .iter()
-        .map(|r| analyze_requirement(model, &r.name))
+        .map(|r| analyze_requirement_impl(model, &r.name))
         .collect()
 }
 
@@ -275,16 +303,17 @@ mod tests {
         ] {
             let m = two_task_model(policy);
             for name in ["hi-rt", "lo-rt"] {
-                let exact = tempo_arch::analyze_requirement(
+                let exact = tempo_arch::engine::Session::new(
                     &m,
-                    name,
-                    &tempo_arch::AnalysisConfig::default(),
+                    tempo_arch::AnalysisConfig::default(),
                 )
+                .unwrap()
+                .wcrt(name)
                 .unwrap()
                 .wcrt
                 .unwrap()
                 .as_millis_f64();
-                let bound = analyze_requirement(&m, name).unwrap().wcrt_ms();
+                let bound = analyze_requirement_impl(&m, name).unwrap().wcrt_ms();
                 assert!(
                     bound + 1e-6 >= exact,
                     "{policy:?} {name}: MPA bound {bound} below exact {exact}"
@@ -296,16 +325,16 @@ mod tests {
     #[test]
     fn preemptive_high_priority_bound_close_to_wcet() {
         let m = two_task_model(SchedulingPolicy::FixedPriorityPreemptive);
-        let hi = analyze_requirement(&m, "hi-rt").unwrap();
+        let hi = analyze_requirement_impl(&m, "hi-rt").unwrap();
         assert!((hi.wcrt_ms() - 2.0).abs() < 0.1, "{}", hi.wcrt_ms());
-        let lo = analyze_requirement(&m, "lo-rt").unwrap();
+        let lo = analyze_requirement_impl(&m, "lo-rt").unwrap();
         assert!(lo.wcrt_ms() >= 12.0 - 0.1);
     }
 
     #[test]
     fn non_preemptive_blocking_included() {
         let m = two_task_model(SchedulingPolicy::FixedPriorityNonPreemptive);
-        let hi = analyze_requirement(&m, "hi-rt").unwrap();
+        let hi = analyze_requirement_impl(&m, "hi-rt").unwrap();
         assert!(hi.wcrt_ms() >= 12.0 - 0.1, "{}", hi.wcrt_ms());
     }
 
@@ -316,7 +345,7 @@ mod tests {
             *instructions = 25_000; // 25 ms every 20 ms
         }
         assert!(matches!(
-            analyze_requirement(&m, "lo-rt"),
+            analyze_requirement_impl(&m, "lo-rt"),
             Err(RtcError::Overload { .. })
         ));
     }
@@ -325,10 +354,10 @@ mod tests {
     fn unknown_requirement() {
         let m = two_task_model(SchedulingPolicy::FixedPriorityPreemptive);
         assert!(matches!(
-            analyze_requirement(&m, "nope"),
+            analyze_requirement_impl(&m, "nope"),
             Err(RtcError::UnknownRequirement(_))
         ));
-        assert_eq!(analyze_all(&m).unwrap().len(), 2);
+        assert_eq!(analyze_all_impl(&m).unwrap().len(), 2);
     }
 
     #[test]
@@ -343,8 +372,8 @@ mod tests {
         periodic.scenarios[1].stimulus = EventModel::Periodic {
             period: TimeValue::millis(50),
         };
-        let p = analyze_requirement(&periodic, "lo-rt").unwrap().wcrt_ms();
-        let b = analyze_requirement(&bursty, "lo-rt").unwrap().wcrt_ms();
+        let p = analyze_requirement_impl(&periodic, "lo-rt").unwrap().wcrt_ms();
+        let b = analyze_requirement_impl(&bursty, "lo-rt").unwrap().wcrt_ms();
         assert!(b >= p, "burst bound {b} < periodic bound {p}");
     }
 }

@@ -1,6 +1,6 @@
 //! The [`Engine`] implementation of the MPA / real-time-calculus baseline.
 
-use crate::analysis::{analyze_all, analyze_requirement, RtcError, RtcReport};
+use crate::analysis::{analyze_all_impl, analyze_requirement_impl, RtcError, RtcReport};
 use tempo_arch::engine::{
     run_upper_bound_engine, upper_bound_row, BoundKind, Capabilities, Engine, EngineError,
     EngineReport, Query, RequirementEstimate, RunContext,
@@ -52,9 +52,9 @@ impl Engine for RtcEngine {
             model,
             query,
             ctx,
-            &mut |requirement| Ok(estimate_row(model, &analyze_requirement(model, requirement)?)),
+            &mut |requirement| Ok(estimate_row(model, &analyze_requirement_impl(model, requirement)?)),
             &mut || {
-                Ok(analyze_all(model)?
+                Ok(analyze_all_impl(model)?
                     .iter()
                     .map(|r| estimate_row(model, r))
                     .collect())

@@ -31,7 +31,9 @@ mod component;
 mod analysis;
 mod engine;
 
-pub use analysis::{analyze_all, analyze_requirement, RtcError, RtcReport};
+#[allow(deprecated)]
+pub use analysis::{analyze_all, analyze_requirement};
+pub use analysis::{RtcError, RtcReport};
 pub use component::GreedyProcessingComponent;
 pub use curves::{ArrivalCurve, ServiceCurve};
 pub use engine::RtcEngine;

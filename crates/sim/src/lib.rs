@@ -90,11 +90,12 @@ mod tests {
             };
             let reports = simulate(&m, &cfg).unwrap();
             for report in &reports {
-                let exact = tempo_arch::analyze_requirement(
+                let exact = tempo_arch::engine::Session::new(
                     &m,
-                    &report.requirement,
-                    &tempo_arch::AnalysisConfig::default(),
+                    tempo_arch::AnalysisConfig::default(),
                 )
+                .unwrap()
+                .wcrt(&report.requirement)
                 .unwrap()
                 .wcrt
                 .unwrap()

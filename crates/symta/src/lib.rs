@@ -112,7 +112,24 @@ struct SystemTask {
 
 /// Analyzes one requirement of the model and returns a conservative
 /// end-to-end WCRT bound.
+///
+/// Prefer the engine seam: [`SymtaEngine`] behind
+/// [`tempo_arch::engine::Engine`] answers the same query with typed
+/// estimates.
+#[deprecated(
+    since = "0.1.0",
+    note = "run `SymtaEngine` through the `tempo_arch::engine::Engine` API"
+)]
 pub fn analyze_requirement(
+    model: &ArchitectureModel,
+    requirement_name: &str,
+) -> Result<SymtaReport, SymtaError> {
+    analyze_requirement_impl(model, requirement_name)
+}
+
+/// The non-deprecated body of [`analyze_requirement`], shared with
+/// [`SymtaEngine`].
+pub(crate) fn analyze_requirement_impl(
     model: &ArchitectureModel,
     requirement_name: &str,
 ) -> Result<SymtaReport, SymtaError> {
@@ -141,11 +158,21 @@ pub fn analyze_requirement(
 }
 
 /// Analyzes every requirement of the model.
+#[deprecated(
+    since = "0.1.0",
+    note = "run `SymtaEngine` through the `tempo_arch::engine::Engine` API \
+            (`Query::WcrtAll`)"
+)]
 pub fn analyze_all(model: &ArchitectureModel) -> Result<Vec<SymtaReport>, SymtaError> {
+    analyze_all_impl(model)
+}
+
+/// The non-deprecated body of [`analyze_all`], shared with [`SymtaEngine`].
+pub(crate) fn analyze_all_impl(model: &ArchitectureModel) -> Result<Vec<SymtaReport>, SymtaError> {
     model
         .requirements
         .iter()
-        .map(|r| analyze_requirement(model, &r.name))
+        .map(|r| analyze_requirement_impl(model, &r.name))
         .collect()
 }
 
@@ -340,10 +367,10 @@ mod tests {
     #[test]
     fn preemptive_high_priority_is_isolated() {
         let m = simple_model(SchedulingPolicy::FixedPriorityPreemptive);
-        let hi = analyze_requirement(&m, "hi-rt").unwrap();
+        let hi = analyze_requirement_impl(&m, "hi-rt").unwrap();
         // Classic RTA: the highest-priority task's bound is its own WCET.
         assert_eq!(hi.wcrt_bound, TimeValue::millis(2));
-        let lo = analyze_requirement(&m, "lo-rt").unwrap();
+        let lo = analyze_requirement_impl(&m, "lo-rt").unwrap();
         // The low-priority task suffers one preemption: 10 + 2 = 12 ms.
         assert_eq!(lo.wcrt_bound, TimeValue::millis(12));
     }
@@ -351,7 +378,7 @@ mod tests {
     #[test]
     fn non_preemptive_adds_blocking() {
         let m = simple_model(SchedulingPolicy::FixedPriorityNonPreemptive);
-        let hi = analyze_requirement(&m, "hi-rt").unwrap();
+        let hi = analyze_requirement_impl(&m, "hi-rt").unwrap();
         // Blocking by the longest lower-priority task: 10 + 2 = 12 ms.
         assert_eq!(hi.wcrt_bound, TimeValue::millis(12));
     }
@@ -365,15 +392,16 @@ mod tests {
         ] {
             let m = simple_model(policy);
             for name in ["hi-rt", "lo-rt"] {
-                let exact = tempo_arch::analyze_requirement(
+                let exact = tempo_arch::engine::Session::new(
                     &m,
-                    name,
-                    &tempo_arch::AnalysisConfig::default(),
+                    tempo_arch::AnalysisConfig::default(),
                 )
+                .unwrap()
+                .wcrt(name)
                 .unwrap()
                 .wcrt
                 .unwrap();
-                let bound = analyze_requirement(&m, name).unwrap().wcrt_bound;
+                let bound = analyze_requirement_impl(&m, name).unwrap().wcrt_bound;
                 assert!(
                     bound >= exact,
                     "{policy:?} {name}: bound {bound} < exact {exact}"
@@ -390,7 +418,7 @@ mod tests {
             *instructions = 60_000; // 60 ms every 50 ms
         }
         assert!(matches!(
-            analyze_requirement(&m, "lo-rt"),
+            analyze_requirement_impl(&m, "lo-rt"),
             Err(SymtaError::Overload { .. })
         ));
     }
@@ -399,7 +427,7 @@ mod tests {
     fn unknown_requirement_is_reported() {
         let m = simple_model(SchedulingPolicy::FixedPriorityPreemptive);
         assert!(matches!(
-            analyze_requirement(&m, "nope"),
+            analyze_requirement_impl(&m, "nope"),
             Err(SymtaError::UnknownRequirement(_))
         ));
     }
@@ -447,15 +475,15 @@ mod tests {
             to: MeasurePoint::AfterStep(2),
             deadline: TimeValue::millis(100),
         });
-        let e2e = analyze_requirement(&m, "e2e").unwrap();
+        let e2e = analyze_requirement_impl(&m, "e2e").unwrap();
         // 5 ms + 10 ms + 3 ms plus possible self-interference terms; at least
         // the sum of service times, and covering all three steps.
         assert!(e2e.wcrt_bound >= TimeValue::millis(18));
         assert_eq!(e2e.step_bounds.len(), 3);
-        let tail = analyze_requirement(&m, "tail").unwrap();
+        let tail = analyze_requirement_impl(&m, "tail").unwrap();
         assert_eq!(tail.step_bounds.len(), 1);
         assert!(tail.wcrt_bound < e2e.wcrt_bound);
-        let all = analyze_all(&m).unwrap();
+        let all = analyze_all_impl(&m).unwrap();
         assert_eq!(all.len(), 2);
     }
 }

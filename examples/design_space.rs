@@ -36,8 +36,9 @@ fn main() {
             &params,
         );
         print!("{:<28}", variant.label());
+        let session = Session::new(&model, cfg.clone()).expect("valid model");
         for requirement in ["AddressLookup (+ HandleTMC)", "HandleTMC (+ AddressLookup)"] {
-            match analyze_requirement(&model, requirement, &cfg) {
+            match session.wcrt(requirement) {
                 Ok(rep) => print!(
                     "  {}: {:>9.3} ms{}",
                     requirement.split(' ').next().unwrap_or(requirement),

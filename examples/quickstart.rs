@@ -76,10 +76,11 @@ fn main() {
         deadline: TimeValue::millis(20),
     });
 
-    // 4. Analyse: the model is translated into a network of timed automata and
-    //    the exact worst-case response times are extracted by the checker.
-    let cfg = AnalysisConfig::default();
-    for report in analyze_all(&model, &cfg).expect("analysis succeeds") {
+    // 4. Analyse: open a session (the model is validated and translated into
+    //    a network of timed automata once) and extract the exact worst-case
+    //    response times with the checker.
+    let session = Session::new(&model, AnalysisConfig::default()).expect("valid model");
+    for report in session.wcrt_all().expect("analysis succeeds") {
         println!(
             "{:<20} WCRT = {:>8.3} ms   deadline = {:>6.1} ms   met = {:?}   ({} symbolic states)",
             report.requirement,
@@ -90,13 +91,17 @@ fn main() {
         );
     }
 
-    // 5. The same model can be fed to the baseline analyses for comparison.
-    let bound = tempo::symta::analyze_requirement(&model, "actuation latency").unwrap();
-    let mpa = tempo::rtc::analyze_requirement(&model, "actuation latency").unwrap();
+    // 5. The same model can be fed to the baseline engines for comparison.
+    let query = Query::Wcrt {
+        requirement: "actuation latency".into(),
+    };
+    let ctx = RunContext::default();
+    let bound = tempo::symta::SymtaEngine.run(&model, &query, &ctx).unwrap();
+    let mpa = tempo::rtc::RtcEngine.run(&model, &query, &ctx).unwrap();
     println!(
         "\nFor comparison, conservative analytic bounds on the actuation latency:\n  \
-         SymTA/S-style busy window: {:.3} ms\n  MPA / real-time calculus:  {:.3} ms",
-        bound.wcrt_ms(),
-        mpa.wcrt_ms()
+         SymTA/S-style busy window: {}\n  MPA / real-time calculus:  {}",
+        bound.estimate_for("actuation latency").unwrap().estimate,
+        mpa.estimate_for("actuation latency").unwrap().estimate
     );
 }

@@ -71,6 +71,54 @@
 //! optional shared deadline and a progress callback, all threaded down into
 //! the model checker's sequential and parallel explorers.
 //!
+//! ## Incremental design-space exploration
+//!
+//! Repeated analyses — parameter sweeps, edit–re-analyse loops — run
+//! against an [`AnalysisDb`](arch::incremental::AnalysisDb), which memoizes
+//! generated networks and finished estimates by a content hash of each
+//! query's **input cone** (the resource-sharing closure of its scenario,
+//! the requirement, the quantizer tick and the generator config).  A
+//! [`Sweep`](arch::explore::Sweep) over a shared database only explores
+//! each distinct cone once, and after an edit only the queries whose cone
+//! actually changed re-run:
+//!
+//! ```
+//! use tempo::arch::explore::Sweep;
+//! use tempo::arch::prelude::*;
+//!
+//! # let mut model = ArchitectureModel::new("dse");
+//! # let cpu = model.add_processor("CPU", 100, SchedulingPolicy::FixedPriorityPreemptive);
+//! # let s = model.add_scenario(Scenario {
+//! #     name: "control".into(),
+//! #     stimulus: EventModel::Periodic { period: TimeValue::millis(5) },
+//! #     priority: 0,
+//! #     steps: vec![Step::Execute { operation: "loop".into(), instructions: 100_000, on: cpu }],
+//! # });
+//! # model.add_requirement(Requirement {
+//! #     name: "control latency".into(),
+//! #     scenario: s,
+//! #     from: MeasurePoint::Stimulus,
+//! #     to: MeasurePoint::AfterStep(0),
+//! #     deadline: TimeValue::millis(5),
+//! # });
+//! let db = AnalysisDb::new(AnalysisConfig::default());
+//! let sweep = Sweep::new(model).vary_processor_mips("CPU", [100, 200, 400]);
+//!
+//! // Cold: every design point has a distinct cone — three explorations.
+//! let outcome = sweep.run_with(&db, 1, &RunContext::default()).unwrap();
+//! assert!(outcome.rows.iter().all(|r| r.all_deadlines_met()));
+//! assert_eq!(db.stats().misses, 3);
+//!
+//! // Warm: the identical sweep is answered entirely from the cache.
+//! sweep.run_with(&db, 1, &RunContext::default()).unwrap();
+//! assert_eq!(db.stats().misses, 3);
+//! assert_eq!(db.stats().hits, 3);
+//! ```
+//!
+//! The `sweep_incremental` bench binary scales this to a ~thousand-point
+//! design space and records the cold/warm/edited hit rates and the speedup
+//! over from-scratch re-analysis in `BENCH_sweep.json`.
+//!
 //! ## Robustness: fault isolation and fault injection
 //!
 //! The portfolio is built to *never return a wrong answer* — only a slower,

@@ -47,7 +47,8 @@ fn address_lookup_row_is_insensitive_to_radio_station_burstiness() {
     let mut values = Vec::new();
     for column in EventModelColumn::all() {
         let model = radio_navigation(ScenarioCombo::AddressLookupWithTmc, column, &quick_params());
-        let report = analyze_requirement(&model, "AddressLookup (+ HandleTMC)", &cfg).unwrap();
+        let session = Session::new(&model, cfg.clone()).unwrap();
+        let report = session.wcrt("AddressLookup (+ HandleTMC)").unwrap();
         assert!(
             !report.stats.truncated,
             "column {column:?} truncated ({} states)",
@@ -120,7 +121,7 @@ fn bur_column_completes_under_400k_with_the_federation_store() {
         EventModelColumn::Burst,
         &quick_params(),
     );
-    let report = analyze_requirement(&bur, requirement, &cfg).unwrap();
+    let report = Session::new(&bur, cfg.clone()).unwrap().wcrt(requirement).unwrap();
     assert!(!report.stats.truncated, "bur truncated with the federation store");
     assert!(
         report.stats.states_stored < 400_000,
@@ -145,7 +146,7 @@ fn bur_column_completes_under_400k_with_the_federation_store() {
         EventModelColumn::PeriodicJitter,
         &quick_params(),
     );
-    let pj_report = analyze_requirement(&pj, requirement, &cfg).unwrap();
+    let pj_report = Session::new(&pj, cfg).unwrap().wcrt(requirement).unwrap();
     assert_eq!(report.wcrt, pj_report.wcrt, "bur and pj disagree on the quick workload");
     let wcrt = report.wcrt.expect("exact WCRT");
     assert!(wcrt < TimeValue::millis(200), "deadline violated: {wcrt}");
@@ -165,8 +166,8 @@ fn synchronous_offsets_never_increase_the_tmc_wcrt() {
         EventModelColumn::PeriodicUnknownOffset,
         &params,
     );
-    let r_po = analyze_requirement(&po, "HandleTMC (+ AddressLookup)", &cfg).unwrap();
-    let r_pno = analyze_requirement(&pno, "HandleTMC (+ AddressLookup)", &cfg).unwrap();
+    let r_po = Session::new(&po, cfg.clone()).unwrap().wcrt("HandleTMC (+ AddressLookup)").unwrap();
+    let r_pno = Session::new(&pno, cfg).unwrap().wcrt("HandleTMC (+ AddressLookup)").unwrap();
     let (po_ms, pno_ms) = (r_po.wcrt_ms().unwrap(), r_pno.wcrt_ms().unwrap());
     assert!(
         po_ms <= pno_ms + 1e-9,
@@ -179,7 +180,7 @@ fn all_requirements_of_the_quick_case_study_meet_their_deadlines() {
     let cfg = quick_cfg();
     for (requirement, combo) in tempo::arch::casestudy::table1_rows() {
         let model = radio_navigation(combo, EventModelColumn::Sporadic, &quick_params());
-        let report = analyze_requirement(&model, requirement, &cfg).unwrap();
+        let report = Session::new(&model, cfg.clone()).unwrap().wcrt(requirement).unwrap();
         assert!(!report.stats.truncated, "{requirement}: truncated");
         let w = report.wcrt.expect("un-truncated searches yield exact WCRTs");
         assert!(
@@ -228,15 +229,27 @@ fn baseline_techniques_run_on_the_full_case_study() {
         &CaseStudyParams::default(),
     );
     // SymTA/S-style and MPA bounds exist and exceed the raw service-time sum.
-    let symta = tempo::symta::analyze_requirement(&model, "HandleTMC (+ AddressLookup)").unwrap();
-    let mpa = tempo::rtc::analyze_requirement(&model, "HandleTMC (+ AddressLookup)").unwrap();
+    let query = Query::Wcrt {
+        requirement: "HandleTMC (+ AddressLookup)".into(),
+    };
+    let ctx = RunContext::default();
+    let bound_ms = |report: &EngineReport| {
+        report
+            .estimate_for("HandleTMC (+ AddressLookup)")
+            .unwrap()
+            .estimate
+            .as_millis_f64()
+    };
+    let symta = tempo::symta::SymtaEngine.run(&model, &query, &ctx).unwrap();
+    let mpa = tempo::rtc::RtcEngine.run(&model, &query, &ctx).unwrap();
+    let (symta_ms, mpa_ms) = (bound_ms(&symta), bound_ms(&mpa));
     let service_sum_ms = 90.909 + 7.111 + 44.248 + 7.111 + 22.727;
-    assert!(symta.wcrt_ms() >= service_sum_ms - 0.5, "{}", symta.wcrt_ms());
-    assert!(mpa.wcrt_ms() >= service_sum_ms - 0.5, "{}", mpa.wcrt_ms());
+    assert!(symta_ms >= service_sum_ms - 0.5, "{symta_ms}");
+    assert!(mpa_ms >= service_sum_ms - 0.5, "{mpa_ms}");
     // Both stay below 1 second (the requirement's deadline) — the case study
     // architecture is schedulable.
-    assert!(symta.wcrt_ms() < 1_000.0);
-    assert!(mpa.wcrt_ms() < 1_000.0);
+    assert!(symta_ms < 1_000.0);
+    assert!(mpa_ms < 1_000.0);
     // The simulator observes responses at least as long as the uncontended
     // service-time sum minus the MMI/NAV contention, and below the bounds.
     let sim = tempo::sim::simulate(
@@ -254,5 +267,5 @@ fn baseline_techniques_run_on_the_full_case_study() {
         .unwrap()
         .max_response_ms();
     assert!(observed >= 150.0, "simulation observed only {observed} ms");
-    assert!(observed <= mpa.wcrt_ms() + 1e-6);
+    assert!(observed <= mpa_ms + 1e-6);
 }

@@ -132,8 +132,9 @@ fn simulation_never_exceeds_exact_and_exact_never_exceeds_analytic_bounds() {
 fn binary_search_reproduces_sup_based_wcrt() {
     let model = shared_cpu_model(SchedulingPolicy::FixedPriorityPreemptive, default_lo());
     let cfg = AnalysisConfig::default();
+    let session = Session::new(&model, cfg.clone()).unwrap();
     for requirement in ["hi-e2e", "lo-e2e"] {
-        let sup = analyze_requirement(&model, requirement, &cfg).unwrap();
+        let sup = session.wcrt(requirement).unwrap();
         let bs = analyze_requirement_binary_search(&model, requirement, &cfg).unwrap();
         assert_eq!(sup.wcrt, bs.wcrt, "{requirement}");
     }
@@ -204,7 +205,9 @@ fn wcrt_is_monotone_in_event_model_burstiness() {
     let mut previous = 0.0f64;
     for (i, lo_model) in models.into_iter().enumerate() {
         let model = tiny_model(lo_model);
-        let wcrt = analyze_requirement(&model, "lo-e2e", &cfg)
+        let wcrt = Session::new(&model, cfg.clone())
+            .unwrap()
+            .wcrt("lo-e2e")
             .unwrap()
             .wcrt_ms()
             .unwrap();
@@ -226,13 +229,14 @@ fn generated_networks_validate_and_queues_stay_bounded() {
         let generated = generate(&model, Some(&model.requirements[0]), &GeneratorOptions::default())
             .expect("generation succeeds");
         assert!(generated.system.validate().is_ok());
-        // The typed query surface and the legacy shim agree.
+        // The typed query surface and the raw session form agree.
         let session = Session::new(&model, AnalysisConfig::default()).unwrap();
         let report = session
             .run(&Query::QueueBounds, &RunContext::default())
             .unwrap();
         assert_eq!(report.verdict, Some(true), "{policy:?}");
-        tempo::arch::check_queues_bounded(&model, &AnalysisConfig::default())
+        session
+            .queue_check()
             .expect("queues stay bounded in a schedulable system");
     }
 }
@@ -242,8 +246,8 @@ fn priority_inversion_visible_under_non_preemptive_scheduling() {
     let np = shared_cpu_model(SchedulingPolicy::FixedPriorityNonPreemptive, default_lo());
     let pre = shared_cpu_model(SchedulingPolicy::FixedPriorityPreemptive, default_lo());
     let cfg = AnalysisConfig::default();
-    let hi_np = analyze_requirement(&np, "hi-e2e", &cfg).unwrap().wcrt_ms().unwrap();
-    let hi_pre = analyze_requirement(&pre, "hi-e2e", &cfg).unwrap().wcrt_ms().unwrap();
+    let hi_np = Session::new(&np, cfg.clone()).unwrap().wcrt("hi-e2e").unwrap().wcrt_ms().unwrap();
+    let hi_pre = Session::new(&pre, cfg).unwrap().wcrt("hi-e2e").unwrap().wcrt_ms().unwrap();
     assert!(
         hi_np >= hi_pre,
         "blocking should not make the preemptive WCRT larger: np {hi_np} vs pre {hi_pre}"

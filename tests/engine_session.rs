@@ -35,7 +35,9 @@ fn batched_wcrt_all_matches_per_requirement_analysis_everywhere() {
             model.name
         );
         assert_eq!(batched.len(), model.requirements.len());
-        let classic = analyze_all(model, &cfg).unwrap();
+        let mut dedicated = Session::new(model, cfg).unwrap();
+        dedicated.set_batch_wcrt_all(false);
+        let classic = dedicated.wcrt_all().unwrap();
         for (b, c) in batched.iter().zip(&classic) {
             assert_eq!(b.requirement, c.requirement);
             assert_eq!(
@@ -70,7 +72,9 @@ fn batched_wcrt_all_matches_under_parallel_federation_storage() {
         };
         let session = Session::new(&model, cfg).unwrap();
         let batched = session.wcrt_all().unwrap();
-        let classic = analyze_all(&model, &AnalysisConfig::default()).unwrap();
+        let mut dedicated = Session::new(&model, AnalysisConfig::default()).unwrap();
+        dedicated.set_batch_wcrt_all(false);
+        let classic = dedicated.wcrt_all().unwrap();
         for (b, c) in batched.iter().zip(&classic) {
             assert_eq!(b.wcrt, c.wcrt, "{}/{}", model.name, b.requirement);
             assert_eq!(b.meets_deadline, c.meets_deadline);

@@ -107,7 +107,9 @@ fn architecture_variants_order_as_expected() {
             EventModelColumn::Sporadic,
             &params,
         );
-        analyze_requirement(&model, "AddressLookup (+ HandleTMC)", &cfg)
+        Session::new(&model, cfg.clone())
+            .unwrap()
+            .wcrt("AddressLookup (+ HandleTMC)")
             .unwrap()
             .wcrt
             .expect("exact")

@@ -66,7 +66,8 @@ fn assert_storage_backends_match(model: &ArchitectureModel, requirement: &str) -
     let mut baseline: Option<WcrtReport> = None;
     let mut counts = (0usize, 0usize);
     for (label, cfg) in storage_matrix() {
-        let report = analyze_requirement(model, requirement, &cfg)
+        let report = Session::new(model, cfg)
+            .and_then(|s| s.wcrt(requirement))
             .unwrap_or_else(|e| panic!("{}/{requirement} with {label}: {e}", model.name));
         match label {
             "flat" => counts.0 = report.stats.states_stored,
@@ -104,9 +105,11 @@ fn cfg(reduction: bool) -> AnalysisConfig {
 /// Asserts that the two analyses of `requirement` agree on everything a user
 /// can observe, and returns the (reduced, unreduced) stored-state counts.
 fn assert_requirement_matches(model: &ArchitectureModel, requirement: &str) -> (usize, usize) {
-    let on = analyze_requirement(model, requirement, &cfg(true))
+    let on = Session::new(model, cfg(true))
+        .and_then(|s| s.wcrt(requirement))
         .unwrap_or_else(|e| panic!("{}/{requirement} with reduction: {e}", model.name));
-    let off = analyze_requirement(model, requirement, &cfg(false))
+    let off = Session::new(model, cfg(false))
+        .and_then(|s| s.wcrt(requirement))
         .unwrap_or_else(|e| panic!("{}/{requirement} without reduction: {e}", model.name));
     assert_eq!(
         on.wcrt, off.wcrt,
@@ -226,8 +229,8 @@ fn exact_zone_merging_is_wcrt_preserving() {
     for seed in [1u64, 4, 6] {
         let model = random_model(seed);
         for req in ["r0", "r1"] {
-            let with = analyze_requirement(&model, req, &cfg2(true, true)).unwrap();
-            let without = analyze_requirement(&model, req, &cfg2(true, false)).unwrap();
+            let with = Session::new(&model, cfg2(true, true)).unwrap().wcrt(req).unwrap();
+            let without = Session::new(&model, cfg2(true, false)).unwrap().wcrt(req).unwrap();
             assert_eq!(with.wcrt, without.wcrt, "{}/{req}: merging changed the WCRT", model.name);
             assert_eq!(with.lower_bound, without.lower_bound, "{}/{req}", model.name);
             assert_eq!(without.stats.zones_merged, 0);
