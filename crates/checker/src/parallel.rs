@@ -49,8 +49,10 @@ pub struct ParallelOptions {
     /// the machine.
     pub workers: usize,
     /// Number of shards of the passed list.  More shards reduce lock
-    /// contention at the cost of memory; the default (4× the worker count,
-    /// minimum 16) is adequate for the models in this repository.
+    /// contention at the cost of memory; the default (16× the worker count,
+    /// minimum 64) keeps the expected shard occupancy well below one worker
+    /// even on the case-study columns, where a handful of hot discrete
+    /// states attract most insertions.
     pub shards: usize,
 }
 
@@ -78,7 +80,7 @@ impl ParallelOptions {
         if self.shards > 0 {
             self.shards
         } else {
-            (workers * 4).max(16)
+            (workers * 16).max(64)
         }
     }
 }
@@ -142,6 +144,13 @@ impl<'s> Explorer<'s> {
         let stealers: Vec<Stealer<SymState>> = locals.iter().map(|w| w.stealer()).collect();
         let pending = AtomicUsize::new(0);
         let peak_pending = AtomicUsize::new(1);
+        // Shared progress stride: `explored_total` counts expansions across
+        // all workers and `next_progress` is the threshold the next report
+        // fires at.  A per-worker stride (each worker counting its own
+        // expansions against its own last-report mark) fired the callback up
+        // to `workers`× more often than `progress_every` promises.
+        let explored_total = AtomicUsize::new(0);
+        let next_progress = AtomicUsize::new(progress_every);
         let stop = AtomicBool::new(false);
         let found = AtomicBool::new(false);
         let truncated = AtomicBool::new(false);
@@ -173,6 +182,8 @@ impl<'s> Explorer<'s> {
                 let truncated = &truncated;
                 let limit_exceeded = &limit_exceeded;
                 let cancelled = &cancelled;
+                let explored_total = &explored_total;
+                let next_progress = &next_progress;
                 handles.push(scope.spawn(move || {
                     let mut outcome = WorkerOutcome {
                         explored: 0,
@@ -195,7 +206,6 @@ impl<'s> Explorer<'s> {
                                 return;
                             }
                         };
-                        let mut last_progress = 0usize;
                         let mut panics = 0usize;
                         loop {
                             if stop.load(Ordering::SeqCst) {
@@ -223,11 +233,24 @@ impl<'s> Explorer<'s> {
                                 }
                             }
                             if let Some(progress) = &hook.progress {
-                                // Like the sequential explorer: fire only when
-                                // this worker's counter advanced, not on stale
-                                // or empty pops.
-                                if outcome.explored >= last_progress + progress_every {
-                                    last_progress = outcome.explored;
+                                // Fire when the *global* expansion counter
+                                // crossed the next threshold; a single CAS on
+                                // the threshold elects exactly one reporting
+                                // worker per stride, so the callback runs
+                                // ~once per `progress_every` expansions
+                                // overall instead of once per worker.
+                                let total = explored_total.load(Ordering::Relaxed);
+                                let threshold = next_progress.load(Ordering::Relaxed);
+                                if total >= threshold
+                                    && next_progress
+                                        .compare_exchange(
+                                            threshold,
+                                            total + progress_every,
+                                            Ordering::Relaxed,
+                                            Ordering::Relaxed,
+                                        )
+                                        .is_ok()
+                                {
                                     if let Some(plan) = &hook.faults {
                                         match plan.poll(FaultSite::Progress) {
                                             Ok(false) => {}
@@ -249,7 +272,7 @@ impl<'s> Explorer<'s> {
                                         }
                                     }
                                     progress(&SearchProgress {
-                                        states_explored: outcome.explored,
+                                        states_explored: total,
                                         states_stored: passed.live_zones(),
                                         elapsed: start.elapsed(),
                                     });
@@ -257,16 +280,21 @@ impl<'s> Explorer<'s> {
                             }
                             // Own deque first, then the seed injector, then
                             // steal from peers (round-robin, starting past
-                            // ourselves).
+                            // ourselves).  Steals move a whole batch onto
+                            // our deque and pop one task, so a dry worker
+                            // pays the victim's lock once per batch instead
+                            // of once per state.
                             let next = local.pop().or_else(|| {
                                 let mut contended = false;
-                                match queue.steal() {
+                                match queue.steal_batch_and_pop(&local) {
                                     Steal::Success(s) => return Some(s),
                                     Steal::Retry => contended = true,
                                     Steal::Empty => {}
                                 }
                                 for k in 1..stealers.len() {
-                                    match stealers[(index + k) % stealers.len()].steal() {
+                                    match stealers[(index + k) % stealers.len()]
+                                        .steal_batch_and_pop(&local)
+                                    {
                                         Steal::Success(s) => return Some(s),
                                         Steal::Retry => contended = true,
                                         Steal::Empty => {}
@@ -306,6 +334,7 @@ impl<'s> Explorer<'s> {
                             let expansion = std::panic::catch_unwind(
                                 std::panic::AssertUnwindSafe(|| -> Result<bool, CheckError> {
                                     outcome.explored += 1;
+                                    explored_total.fetch_add(1, Ordering::Relaxed);
                                     visit(&state);
                                     if let Some(t) = target {
                                         if t.matches(&state)? {
@@ -828,6 +857,50 @@ mod tests {
     }
 
     #[test]
+    fn progress_callbacks_respect_the_global_stride() {
+        use std::sync::Arc;
+        let sys = worker_pool(3);
+        let stride = 32usize;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let reported_max = Arc::new(AtomicUsize::new(0));
+        let opts = SearchOptions {
+            hook: crate::SearchHook {
+                progress: Some(Arc::new({
+                    let fired = fired.clone();
+                    let reported_max = reported_max.clone();
+                    move |p: &SearchProgress| {
+                        fired.fetch_add(1, Ordering::SeqCst);
+                        reported_max.fetch_max(p.states_explored, Ordering::SeqCst);
+                    }
+                })),
+                progress_every: stride,
+                ..crate::SearchHook::default()
+            },
+            ..SearchOptions::default()
+        };
+        let ex = Explorer::new(&sys, opts).unwrap();
+        let stats = ex
+            .par_explore(&|_| {}, &ParallelOptions::with_workers(4))
+            .unwrap();
+        let fired = fired.load(Ordering::SeqCst);
+        // The k-th report requires the *global* expansion counter to reach
+        // k·stride, so the callback count is bounded by total/stride — a
+        // per-worker stride admitted up to `workers` reports per crossing.
+        assert!(
+            fired <= stats.states_explored / stride,
+            "{fired} progress reports for {} expansions at stride {stride}",
+            stats.states_explored
+        );
+        assert!(
+            fired >= 1,
+            "no progress report despite {} expansions at stride {stride}",
+            stats.states_explored
+        );
+        // Reports carry the global counter, not one worker's share.
+        assert!(reported_max.load(Ordering::SeqCst) >= stride);
+    }
+
+    #[test]
     fn injected_worker_panic_self_heals() {
         use crate::fault::{quiet_injected_panics, FaultKind, FaultPlan, FaultSite};
         use std::sync::Arc;
@@ -891,7 +964,8 @@ mod tests {
     fn parallel_options_default_resolution() {
         let par = ParallelOptions::default();
         assert!(par.resolved_workers() >= 1);
-        assert!(par.resolved_shards(par.resolved_workers()) >= 16);
+        assert!(par.resolved_shards(par.resolved_workers()) >= 64);
+        assert_eq!(ParallelOptions::with_workers(8).resolved_shards(8), 128);
         let fixed = ParallelOptions::with_workers(3);
         assert_eq!(fixed.resolved_workers(), 3);
     }

@@ -1,6 +1,7 @@
 //! Symbolic states of the zone graph.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use tempo_dbm::Dbm;
 use tempo_ta::{LocId, System, VarStore};
 
@@ -8,22 +9,62 @@ use tempo_ta::{LocId, System, VarStore};
 /// valuation of all integer variables.
 ///
 /// Discrete states are the keys of the passed/waiting list; zones reachable
-/// with the same discrete state are grouped under it.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// with the same discrete state are grouped under it.  The 64-bit hash of the
+/// location vector and variable valuation is computed once at construction
+/// and cached: the explorer hashes and compares every successor against the
+/// passed list, and re-hashing the full vectors on that path dominated
+/// profile time.  The fields are private so no mutation can desynchronize
+/// the cache.
+#[derive(Clone, Eq)]
 pub struct DiscreteState {
     /// Current location of each automaton, indexed like `System::automata`.
-    pub locations: Vec<LocId>,
+    locations: Vec<LocId>,
     /// Valuation of the integer variables.
-    pub vars: VarStore,
+    vars: VarStore,
+    /// Cached hash over `locations` and `vars`.
+    hash: u64,
 }
 
 impl DiscreteState {
+    /// Builds a discrete state from its location vector and variable
+    /// valuation, computing the cached hash.
+    pub fn new(locations: Vec<LocId>, vars: VarStore) -> DiscreteState {
+        use std::collections::hash_map::DefaultHasher;
+        let mut h = DefaultHasher::new();
+        locations.hash(&mut h);
+        vars.hash(&mut h);
+        DiscreteState {
+            locations,
+            vars,
+            hash: h.finish(),
+        }
+    }
+
     /// The initial discrete state of a system.
     pub fn initial(sys: &System) -> DiscreteState {
-        DiscreteState {
-            locations: sys.automata.iter().map(|a| a.initial).collect(),
-            vars: sys.initial_vars(),
-        }
+        DiscreteState::new(
+            sys.automata.iter().map(|a| a.initial).collect(),
+            sys.initial_vars(),
+        )
+    }
+
+    /// Current location of each automaton, indexed like `System::automata`.
+    #[inline]
+    pub fn locations(&self) -> &[LocId] {
+        &self.locations
+    }
+
+    /// Valuation of the integer variables.
+    #[inline]
+    pub fn vars(&self) -> &VarStore {
+        &self.vars
+    }
+
+    /// The cached 64-bit hash — what [`Hash`] writes, usable directly for
+    /// shard selection without re-hashing the vectors.
+    #[inline]
+    pub fn cached_hash(&self) -> u64 {
+        self.hash
     }
 
     /// Renders the state with declared names, e.g.
@@ -48,6 +89,19 @@ impl DiscreteState {
         } else {
             format!("{locs} | {vars}")
         }
+    }
+}
+
+impl PartialEq for DiscreteState {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached hash rejects almost every unequal pair in one compare.
+        self.hash == other.hash && self.locations == other.locations && self.vars == other.vars
+    }
+}
+
+impl Hash for DiscreteState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
     }
 }
 

@@ -28,11 +28,23 @@ struct Entry {
     /// threshold doubles after each reduction so the amortized cost per
     /// insert stays constant.
     next_reduce: usize,
+    /// Convex hull of every zone ever inserted for this discrete state — an
+    /// over-approximation of the stored union (evictions, reductions and
+    /// merges never grow the union past it).  A newcomer poking out of the
+    /// hull is certainly not covered, which lets the common NotCovered case
+    /// exit in O(n²) instead of one scan per member.
+    hull: Option<Dbm>,
 }
 
 /// See the [module documentation](self).
+///
+/// Discrete states are interned: the intern table maps each distinct state to
+/// a dense `u32` id indexing the federation arena, so the hot insert path
+/// clones the (location vector + valuation) key only the first time a
+/// discrete state is seen, not on every insert.
 pub(crate) struct FederationStore {
-    map: HashMap<DiscreteState, Entry>,
+    ids: HashMap<DiscreteState, u32>,
+    entries: Vec<Entry>,
     num_clocks: usize,
     live: usize,
 }
@@ -40,7 +52,8 @@ pub(crate) struct FederationStore {
 impl FederationStore {
     pub(crate) fn new(num_clocks: usize) -> FederationStore {
         FederationStore {
-            map: HashMap::new(),
+            ids: HashMap::new(),
+            entries: Vec::new(),
             num_clocks,
             live: 0,
         }
@@ -49,17 +62,30 @@ impl FederationStore {
 
 impl StateStore for FederationStore {
     fn insert(&mut self, discrete: &DiscreteState, zone: &mut Dbm, merge: bool) -> Insert {
-        let entry = self
-            .map
-            .entry(discrete.clone())
-            .or_insert_with(|| Entry {
-                fed: Federation::empty(self.num_clocks),
-                next_reduce: MIN_REDUCE_THRESHOLD,
-            });
-        match entry.fed.coverage_of(zone) {
-            ZoneCoverage::Member => return Insert::Subsumed { by_union: false },
-            ZoneCoverage::Union => return Insert::Subsumed { by_union: true },
-            ZoneCoverage::NotCovered => {}
+        let id = match self.ids.get(discrete) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.entries.len()).expect("more than u32::MAX states");
+                self.ids.insert(discrete.clone(), id);
+                self.entries.push(Entry {
+                    fed: Federation::empty(self.num_clocks),
+                    next_reduce: MIN_REDUCE_THRESHOLD,
+                    hull: None,
+                });
+                id
+            }
+        };
+        let entry = &mut self.entries[id as usize];
+        let inside_hull = entry
+            .hull
+            .as_ref()
+            .is_some_and(|hull| hull.includes(zone));
+        if inside_hull {
+            match entry.fed.coverage_of(zone) {
+                ZoneCoverage::Member => return Insert::Subsumed { by_union: false },
+                ZoneCoverage::Union => return Insert::Subsumed { by_union: true },
+                ZoneCoverage::NotCovered => {}
+            }
         }
         let merged = if merge {
             entry.fed.absorb_convex(zone, MERGE_ATTEMPT_BUDGET)
@@ -68,6 +94,13 @@ impl StateStore for FederationStore {
         };
         let before = entry.fed.size();
         entry.fed.add(zone.clone());
+        // `zone` may have grown during `absorb_convex`, but only to the hull
+        // of zones already folded in, so widening by its final shape keeps
+        // the cached hull an over-approximation of the stored union.
+        match &mut entry.hull {
+            Some(hull) => hull.hull_in_place(zone),
+            None => entry.hull = Some(zone.clone()),
+        }
         // `add` pushes the newcomer and evicts stored zones it strictly
         // includes: net eviction count from the size delta.
         let mut evicted = before + 1 - entry.fed.size();
@@ -82,9 +115,9 @@ impl StateStore for FederationStore {
     fn is_current(&self, discrete: &DiscreteState, zone: &Dbm) -> bool {
         // A zone that is no longer a member was evicted or absorbed into a
         // hull: some stored zone covers it, so its expansion is redundant.
-        self.map
+        self.ids
             .get(discrete)
-            .is_some_and(|e| e.fed.iter().any(|z| z == zone))
+            .is_some_and(|&id| self.entries[id as usize].fed.iter().any(|z| z == zone))
     }
 
     fn live_zones(&self) -> usize {

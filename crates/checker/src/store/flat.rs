@@ -8,15 +8,22 @@ use std::collections::HashMap;
 use tempo_dbm::Dbm;
 
 /// See the [module documentation](self).
+///
+/// Discrete states are interned: the intern table maps each distinct state to
+/// a dense `u32` id indexing the antichain arena, so the hot insert path
+/// clones the (location vector + valuation) key only the first time a
+/// discrete state is seen, not on every insert.
 pub(crate) struct FlatStore {
-    map: HashMap<DiscreteState, Vec<Dbm>>,
+    ids: HashMap<DiscreteState, u32>,
+    zones: Vec<Vec<Dbm>>,
     live: usize,
 }
 
 impl FlatStore {
     pub(crate) fn new() -> FlatStore {
         FlatStore {
-            map: HashMap::new(),
+            ids: HashMap::new(),
+            zones: Vec::new(),
             live: 0,
         }
     }
@@ -24,7 +31,16 @@ impl FlatStore {
 
 impl StateStore for FlatStore {
     fn insert(&mut self, discrete: &DiscreteState, zone: &mut Dbm, merge: bool) -> Insert {
-        let zones = self.map.entry(discrete.clone()).or_default();
+        let id = match self.ids.get(discrete) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.zones.len()).expect("more than u32::MAX states");
+                self.ids.insert(discrete.clone(), id);
+                self.zones.push(Vec::new());
+                id
+            }
+        };
+        let zones = &mut self.zones[id as usize];
         if zones.iter().any(|z| z.includes(zone)) {
             return Insert::Subsumed { by_union: false };
         }

@@ -9,8 +9,6 @@
 use super::{new_store, Insert, StateStore, StorageKind};
 use crate::state::DiscreteState;
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tempo_dbm::Dbm;
 
@@ -38,9 +36,10 @@ impl ShardedStore {
     }
 
     fn shard_of(&self, discrete: &DiscreteState) -> usize {
-        let mut h = DefaultHasher::new();
-        discrete.hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
+        // The discrete state caches its hash at construction; re-hashing the
+        // location vector here (twice per insert, once per is_current) was
+        // pure overhead.
+        (discrete.cached_hash() as usize) % self.shards.len()
     }
 
     /// Concurrent insert: locks only the shard owning the discrete state.

@@ -340,13 +340,13 @@ impl<'s> SuccessorGen<'s> {
     /// per-location active-clock sets (a clock stays live as long as *any*
     /// automaton may still observe it).  Memoized per location vector.
     fn state_consts(&self, discrete: &DiscreteState) -> Rc<StateConsts> {
-        if let Some(cached) = self.merged_cache.borrow().get(&discrete.locations) {
+        if let Some(cached) = self.merged_cache.borrow().get(discrete.locations()) {
             return Rc::clone(cached);
         }
         let mut lower = self.global_lower.clone();
         let mut upper = self.global_upper.clone();
         let mut active = vec![false; lower.len()];
-        for (ai, loc) in discrete.locations.iter().enumerate() {
+        for (ai, loc) in discrete.locations().iter().enumerate() {
             let (l, u) = &self.lu.per_loc[ai][loc.index()];
             let act = &self.activity.per_loc[ai][loc.index()];
             for i in 1..lower.len() {
@@ -370,7 +370,7 @@ impl<'s> SuccessorGen<'s> {
         });
         self.merged_cache
             .borrow_mut()
-            .insert(discrete.locations.clone(), Rc::clone(&merged));
+            .insert(discrete.locations().to_vec(), Rc::clone(&merged));
         merged
     }
 
@@ -405,7 +405,7 @@ impl<'s> SuccessorGen<'s> {
             Some(groups) => groups.iter().any(|atoms| {
                 atoms
                     .iter()
-                    .all(|(ai, reach)| reach[discrete.locations[*ai].index()])
+                    .all(|(ai, reach)| reach[discrete.locations()[*ai].index()])
             }),
         }
     }
@@ -417,10 +417,10 @@ impl<'s> SuccessorGen<'s> {
         zone: &mut Dbm,
         discrete: &DiscreteState,
     ) -> Result<(), EvalError> {
-        for (a, loc) in self.sys.automata.iter().zip(&discrete.locations) {
+        for (a, loc) in self.sys.automata.iter().zip(discrete.locations()) {
             let inv = &a.location(*loc).invariant;
             if !inv.is_empty() {
-                apply_constraints(zone, inv, &discrete.vars)?;
+                apply_constraints(zone, inv, discrete.vars())?;
                 if zone.is_empty() {
                     return Ok(());
                 }
@@ -433,7 +433,7 @@ impl<'s> SuccessorGen<'s> {
     /// occupies an urgent or committed location and no urgent-channel
     /// synchronization is enabled.
     pub fn delay_allowed(&self, discrete: &DiscreteState) -> Result<bool, EvalError> {
-        for (a, loc) in self.sys.automata.iter().zip(&discrete.locations) {
+        for (a, loc) in self.sys.automata.iter().zip(discrete.locations()) {
             match a.location(*loc).kind {
                 LocationKind::Urgent | LocationKind::Committed => return Ok(false),
                 LocationKind::Normal => {}
@@ -450,15 +450,15 @@ impl<'s> SuccessorGen<'s> {
             let mut sender_auts: Vec<usize> = Vec::new();
             let mut receiver_auts: Vec<usize> = Vec::new();
             for (ai, a) in self.sys.automata.iter().enumerate() {
-                let loc = discrete.locations[ai];
+                let loc = discrete.locations()[ai];
                 for (_, e) in a.outgoing(loc) {
                     match e.sync {
                         Sync::Send(c) if c == channel
-                            && e.guard.eval(&discrete.vars)? => {
+                            && e.guard.eval(discrete.vars())? => {
                                 sender_auts.push(ai);
                             }
                         Sync::Recv(c) if c == channel
-                            && e.guard.eval(&discrete.vars)? => {
+                            && e.guard.eval(discrete.vars())? => {
                                 receiver_auts.push(ai);
                             }
                         _ => {}
@@ -503,7 +503,7 @@ impl<'s> SuccessorGen<'s> {
         self.sys
             .automata
             .iter()
-            .zip(&discrete.locations)
+            .zip(discrete.locations())
             .any(|(a, l)| a.location(*l).kind == LocationKind::Committed)
     }
 
@@ -519,7 +519,7 @@ impl<'s> SuccessorGen<'s> {
         state: &SymState,
         participants: &[(usize, usize)],
     ) -> Result<Option<(DiscreteState, Dbm)>, CheckError> {
-        let vars = &state.discrete.vars;
+        let vars = state.discrete.vars();
         // 1. clock guards of every participating edge, under current vars.
         let mut zone = state.zone.clone();
         for &(ai, ei) in participants {
@@ -538,15 +538,12 @@ impl<'s> SuccessorGen<'s> {
             new_vars.apply(&edge.updates, &self.ranges)?;
         }
         // 3. location changes.
-        let mut new_locs = state.discrete.locations.clone();
+        let mut new_locs = state.discrete.locations().to_vec();
         for &(ai, ei) in participants {
             let edge = &self.sys.automata[ai].edges[ei];
             new_locs[ai] = edge.target;
         }
-        let new_discrete = DiscreteState {
-            locations: new_locs,
-            vars: new_vars,
-        };
+        let new_discrete = DiscreteState::new(new_locs, new_vars);
         // 4. clock resets.
         for &(ai, ei) in participants {
             let edge = &self.sys.automata[ai].edges[ei];
@@ -584,7 +581,7 @@ impl<'s> SuccessorGen<'s> {
         state: &SymState,
     ) -> Result<Vec<(SymState, ActionLabel)>, CheckError> {
         let discrete = &state.discrete;
-        let vars = &discrete.vars;
+        let vars = discrete.vars();
         let committed_active = self.in_committed(discrete);
         let mut out: Vec<(SymState, ActionLabel)> = Vec::new();
 
@@ -601,7 +598,7 @@ impl<'s> SuccessorGen<'s> {
 
         // Internal (τ) transitions.
         for (ai, a) in self.sys.automata.iter().enumerate() {
-            let loc = discrete.locations[ai];
+            let loc = discrete.locations()[ai];
             for (ei, e) in a.outgoing(loc) {
                 if e.sync != Sync::Tau {
                     continue;
@@ -632,7 +629,7 @@ impl<'s> SuccessorGen<'s> {
             let mut senders: Vec<(usize, usize)> = Vec::new();
             let mut receivers: Vec<(usize, usize)> = Vec::new();
             for (ai, a) in self.sys.automata.iter().enumerate() {
-                let loc = discrete.locations[ai];
+                let loc = discrete.locations()[ai];
                 for (ei, e) in a.outgoing(loc) {
                     match e.sync {
                         Sync::Send(c) if c == channel
@@ -781,7 +778,7 @@ mod tests {
         assert_eq!(succ.len(), 1);
         let (s, label) = &succ[0];
         assert!(matches!(label, ActionLabel::Internal { automaton: 0, edge: 0 }));
-        assert_eq!(s.discrete.vars.get(sys.var_by_name("n").unwrap()), 1);
+        assert_eq!(s.discrete.vars().get(sys.var_by_name("n").unwrap()), 1);
         let x = sys.clock_by_name("x").unwrap().dbm_clock();
         // After the tick the clock was reset and may again delay up to 10.
         assert_eq!(s.zone.sup(x), tempo_dbm::Bound::weak(10));
@@ -832,7 +829,7 @@ mod tests {
         assert_eq!(succ.len(), 1);
         let (s, label) = &succ[0];
         assert!(matches!(label, ActionLabel::Binary { .. }));
-        assert_eq!(s.discrete.vars.get(sys.var_by_name("pending").unwrap()), 0);
+        assert_eq!(s.discrete.vars().get(sys.var_by_name("pending").unwrap()), 0);
         assert!(gen.delay_allowed(&s.discrete).unwrap());
         assert_eq!(s.zone.sup(x), tempo_dbm::Bound::weak(5));
     }
@@ -887,7 +884,7 @@ mod tests {
         let committed_state = succ
             .iter()
             .find(|(s, _)| {
-                sys.automata[0].location(s.discrete.locations[0]).name == "mid"
+                sys.automata[0].location(s.discrete.locations()[0]).name == "mid"
             })
             .map(|(s, _)| s.clone())
             .unwrap();
@@ -939,9 +936,9 @@ mod tests {
             other => panic!("expected broadcast, got {other:?}"),
         }
         // r1 and r2 moved, r3 stayed.
-        assert_eq!(sys.automata[1].location(st.discrete.locations[1]).name, "got");
-        assert_eq!(sys.automata[2].location(st.discrete.locations[2]).name, "got");
-        assert_eq!(sys.automata[3].location(st.discrete.locations[3]).name, "wait");
+        assert_eq!(sys.automata[1].location(st.discrete.locations()[1]).name, "got");
+        assert_eq!(sys.automata[2].location(st.discrete.locations()[2]).name, "got");
+        assert_eq!(sys.automata[3].location(st.discrete.locations()[3]).name, "wait");
     }
 
     #[test]

@@ -94,19 +94,19 @@ impl TargetSpec {
     /// `true` iff the symbolic state intersects the target set.
     pub fn matches(&self, state: &SymState) -> Result<bool, EvalError> {
         for (ai, li) in &self.locations {
-            if state.discrete.locations[*ai] != *li {
+            if state.discrete.locations()[*ai] != *li {
                 return Ok(false);
             }
         }
         if let Some(g) = &self.int_guard {
-            if !g.eval(&state.discrete.vars)? {
+            if !g.eval(state.discrete.vars())? {
                 return Ok(false);
             }
         }
         if self.clock_guard.is_empty() {
             return Ok(true);
         }
-        satisfies_constraints(&state.zone, &self.clock_guard, &state.discrete.vars)
+        satisfies_constraints(&state.zone, &self.clock_guard, state.discrete.vars())
     }
 }
 
@@ -130,9 +130,9 @@ mod tests {
     }
 
     fn state_at(sys: &System, loc: &str, n: i64, x_upper: i64) -> SymState {
-        let mut d = DiscreteState::initial(sys);
-        d.locations[0] = sys.automata[0].location_by_name(loc).unwrap();
-        d.vars = tempo_ta::VarStore::new(vec![n]);
+        let mut locs = DiscreteState::initial(sys).locations().to_vec();
+        locs[0] = sys.automata[0].location_by_name(loc).unwrap();
+        let d = DiscreteState::new(locs, tempo_ta::VarStore::new(vec![n]));
         let mut z = Dbm::zero(1);
         z.up();
         z.constrain(

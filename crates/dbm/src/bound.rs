@@ -17,6 +17,7 @@ use std::ops::Add;
 /// The natural order of `Bound` is the *tightness* order used throughout DBM
 /// algorithms: a smaller bound is a stronger constraint.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Bound(i64);
 
 /// Raw encoding of infinity.  Chosen so that `INF_RAW + INF_RAW` does not
@@ -26,6 +27,12 @@ const INF_RAW: i64 = i64::MAX;
 /// Largest representable finite constant.  Constants produced by the
 /// architecture front-end are far below this.
 pub(crate) const MAX_CONST: i64 = (i64::MAX >> 2) - 1;
+
+/// Raw encoding of the loosest finite bound, `(MAX_CONST, ≤)`.
+const MAX_FINITE_RAW: i64 = 2 * MAX_CONST + 1;
+
+/// Raw encoding of the tightest representable bound, `(−MAX_CONST, <)`.
+const MIN_FINITE_RAW: i64 = -2 * MAX_CONST;
 
 impl Bound {
     /// The unconstrained bound `∞`.
@@ -108,15 +115,29 @@ impl Bound {
     /// Bound addition: the tightest bound implied by chaining
     /// `x−y ≺₁ m₁` and `y−z ≺₂ m₂`.  `∞` is absorbing, constants add, and the
     /// result is weak only if both operands are weak.
+    ///
+    /// A sum looser than `(MAX_CONST, ≤)` saturates to `∞`: shortest-path
+    /// relaxation only ever takes the *minimum* of a sum against an existing
+    /// entry, so replacing an unrepresentably loose bound by `∞` never changes
+    /// which entry wins.  A sum below `(−MAX_CONST, <)` has no such safe
+    /// substitute (clamping would silently *loosen* a constraint), so it
+    /// panics instead of wrapping.
+    ///
+    /// # Panics
+    /// Panics when the sum is tighter than the encodable range.
     #[inline]
     #[allow(clippy::should_implement_trait)] // deliberate: chaining, not arithmetic
     pub fn add(self, other: Bound) -> Bound {
         if self.is_infinity() || other.is_infinity() {
             return Bound::INFINITY;
         }
-        // (2a + wa) + (2b + wb) - adjust so the weak bit is the AND.
+        // (2a + wa) + (2b + wb) - adjust so the weak bit is the AND.  Both
+        // operands are within the finite encoding, so the i64 sum cannot wrap.
         let raw = (self.0 & !1) + (other.0 & !1) + (self.0 & other.0 & 1);
-        debug_assert!(raw < INF_RAW);
+        if raw > MAX_FINITE_RAW {
+            return Bound::INFINITY;
+        }
+        assert!(raw >= MIN_FINITE_RAW, "DBM bound addition underflow");
         Bound(raw)
     }
 
@@ -283,6 +304,60 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_constant() {
         let _ = Bound::weak(i64::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_negative_constant() {
+        let _ = Bound::strict(-(MAX_CONST + 1));
+    }
+
+    #[test]
+    fn extreme_constants_round_trip_and_order() {
+        // The four corners of the encoding are representable, round-trip
+        // through constant()/is_strict()/raw(), and sit in the tightness
+        // order exactly where the lexicographic (m, ≺) order puts them.
+        let corners = [
+            Bound::strict(-MAX_CONST),
+            Bound::weak(-MAX_CONST),
+            Bound::strict(MAX_CONST),
+            Bound::weak(MAX_CONST),
+        ];
+        for b in corners {
+            assert_eq!(Bound::from_raw(b.raw()), b);
+            assert_eq!(Bound::new(b.constant(), b.is_strict()), b);
+        }
+        assert!(corners[0] < corners[1]);
+        assert!(corners[1] < corners[2]);
+        assert!(corners[2] < corners[3]);
+        assert!(corners[3] < Bound::INFINITY);
+    }
+
+    #[test]
+    fn addition_saturates_to_infinity_past_max_const() {
+        // Looser-than-encodable sums become ∞ — sound, because a chained
+        // path this loose can never beat an existing entry in a min().
+        let loose = Bound::weak(MAX_CONST) + Bound::weak(1);
+        assert!(loose.is_infinity());
+        assert_eq!(Bound::weak(MAX_CONST) + Bound::weak(MAX_CONST), Bound::INFINITY);
+        // The largest non-saturating sum is exact.
+        assert_eq!(Bound::weak(MAX_CONST) + Bound::weak(0), Bound::weak(MAX_CONST));
+        assert_eq!(
+            Bound::weak(MAX_CONST) + Bound::strict(0),
+            Bound::strict(MAX_CONST)
+        );
+        // Saturation only looks at the sum, not the operands.
+        assert_eq!(
+            Bound::weak(MAX_CONST) + Bound::weak(-MAX_CONST),
+            Bound::weak(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn addition_panics_on_underflow() {
+        // Tighter-than-encodable sums have no sound substitute.
+        let _ = Bound::strict(-MAX_CONST) + Bound::strict(-MAX_CONST);
     }
 
     #[test]

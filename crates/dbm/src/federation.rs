@@ -79,14 +79,20 @@ impl Federation {
             return false;
         }
         assert_eq!(zone.num_clocks(), self.num_clocks, "dimension mismatch");
-        for existing in &self.zones {
+        // One relation per member decides both directions: reject the
+        // newcomer if some member includes it, evict the members it
+        // strictly includes.
+        let mut evict = Vec::new();
+        for (i, existing) in self.zones.iter().enumerate() {
             match zone.relation(existing) {
                 Relation::Equal | Relation::Subset => return false,
-                _ => {}
+                Relation::Superset => evict.push(i),
+                Relation::Incomparable => {}
             }
         }
-        self.zones
-            .retain(|existing| !matches!(existing.relation(&zone), Relation::Subset));
+        for &i in evict.iter().rev() {
+            self.zones.remove(i);
+        }
         self.zones.push(zone);
         true
     }
@@ -102,11 +108,53 @@ impl Federation {
     /// the coverage test bounded on hot paths.  An empty result means `zone`
     /// is covered by the union of the members.
     fn remainder_of(&self, zone: &Dbm, piece_cap: usize) -> Vec<Dbm> {
+        // Members that certainly miss the candidate cannot remove anything
+        // from its pieces (every piece is a subset of the candidate) — drop
+        // them before they cost one subtraction per piece.
+        let relevant: Vec<&Dbm> = self
+            .zones
+            .iter()
+            .filter(|member| !zone.surely_disjoint(member))
+            .collect();
+        // Necessary condition with no subtraction at all: the union of the
+        // relevant members lies inside their convex hull, so a candidate
+        // poking out of the hull is certainly not covered.  Most failing
+        // coverage queries on the passed-list hot path exit here.
+        match relevant.as_slice() {
+            [] => return vec![zone.clone()],
+            [one] => {
+                if !one.includes(zone) {
+                    return vec![zone.clone()];
+                }
+            }
+            [first, rest @ ..] => {
+                let mut hull = (*first).clone();
+                for member in rest {
+                    hull.hull_in_place(member);
+                }
+                if !hull.includes(zone) {
+                    return vec![zone.clone()];
+                }
+            }
+        }
         let mut remainder = vec![zone.clone()];
-        for member in &self.zones {
+        for member in relevant {
             let mut next = Vec::new();
-            for piece in &remainder {
-                next.extend(piece.subtract(member));
+            for piece in remainder {
+                // Pieces the member certainly misses survive unchanged; move
+                // them instead of routing through a subtraction (which would
+                // clone).  This re-check is not redundant with the `relevant`
+                // filter above: pieces shrink as members are subtracted, so a
+                // member overlapping the candidate can still miss most of its
+                // surviving pieces.
+                if piece.surely_disjoint(member) {
+                    next.push(piece);
+                } else {
+                    piece.split_off_difference(member, |p| {
+                        next.push(p);
+                        true
+                    });
+                }
                 // Consult the cap per piece, not per member: one member pass
                 // can multiply the piece count by O(dim²), and the cap exists
                 // to bound exactly that hot-path blow-up.

@@ -16,7 +16,10 @@
 //! reachability of timed automata (Bengtsson & Yi, *Timed Automata: Semantics,
 //! Algorithms and Tools*):
 //!
-//! * [`Dbm::close`] — canonicalization (all-pairs shortest paths),
+//! * [`Dbm::close`] — full canonicalization (all-pairs shortest paths) and
+//!   [`Dbm::close1`] — its O(n²) incremental form after a single tightened
+//!   entry (see the [`matrix`](Dbm) module docs for the canonical-form
+//!   invariant and when the full close is still required),
 //! * [`Dbm::up`] — delay (future) operator,
 //! * [`Dbm::down`] — past operator,
 //! * [`Dbm::constrain`] — intersection with a single difference constraint,
@@ -55,5 +58,5 @@ mod federation;
 pub use bound::Bound;
 pub use clock::{Clock, ClockSet};
 pub use constraint::{Constraint, RelOp};
-pub use matrix::{Dbm, Relation};
+pub use matrix::{incremental_close_enabled, set_incremental_close, Dbm, Relation};
 pub use federation::{Federation, ZoneCoverage};

@@ -224,4 +224,95 @@ proptest! {
             prop_assert!(fz.contains_point(&w));
         }
     }
+
+    /// Tightening a single entry of a random canonical matrix and re-closing
+    /// with the incremental `close1` yields bound-for-bound the same matrix
+    /// as a full Floyd–Warshall `close` — including agreeing on emptiness.
+    #[test]
+    fn close1_matches_full_close(z in random_zone(),
+                                 x in 0u32..=(NUM_CLOCKS as u32),
+                                 y in 0u32..=(NUM_CLOCKS as u32),
+                                 delta in 1i64..25, m in -40i64..40, strict in any::<bool>()) {
+        if x == y || z.is_empty() {
+            return;
+        }
+        let current = z.get(Clock(x), Clock(y));
+        // Derive a strictly tighter bound so no case is discarded: any finite
+        // bound is tighter than ∞, and lowering the constant is tighter
+        // regardless of strictness.
+        let tightened = match current.finite_constant() {
+            None => Bound::new(m, strict),
+            Some(c) => Bound::new(c - delta, strict),
+        };
+        prop_assert!(tightened < current);
+        let mut incremental = z.clone();
+        incremental.set_raw(Clock(x), Clock(y), tightened);
+        incremental.close1(Clock(x), Clock(y));
+        let mut full = z.clone();
+        full.set_raw(Clock(x), Clock(y), tightened);
+        full.close();
+        prop_assert_eq!(incremental.is_empty(), full.is_empty());
+        if !incremental.is_empty() {
+            for i in 0..=NUM_CLOCKS as u32 {
+                for j in 0..=NUM_CLOCKS as u32 {
+                    prop_assert_eq!(
+                        incremental.get(Clock(i), Clock(j)),
+                        full.get(Clock(i), Clock(j)),
+                        "entry ({}, {}) diverges", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bound construction round-trips through constant/strictness/raw, the
+    /// tightness order is the lexicographic (constant, strictness) order, and
+    /// in-range additions are exact.
+    #[test]
+    fn bound_roundtrip_and_ordering(m1 in any::<i32>(), s1 in any::<bool>(),
+                                    m2 in any::<i32>(), s2 in any::<bool>()) {
+        let b1 = Bound::new(m1 as i64, s1);
+        let b2 = Bound::new(m2 as i64, s2);
+        prop_assert_eq!(b1.constant(), m1 as i64);
+        prop_assert_eq!(b1.is_strict(), s1);
+        prop_assert_eq!(Bound::from_raw(b1.raw()), b1);
+        // Strict sorts before weak at the same constant, so compare on
+        // (constant, weakness).
+        prop_assert_eq!(b1.cmp(&b2), (m1, !s1).cmp(&(m2, !s2)));
+        prop_assert!(b1 < Bound::INFINITY);
+        let sum = b1 + b2;
+        prop_assert_eq!(sum.constant(), m1 as i64 + m2 as i64);
+        prop_assert_eq!(sum.is_strict(), s1 || s2);
+    }
+
+    /// At the limits of the `2·m + weak_bit` encoding: extreme constants
+    /// round-trip, stay ordered below ∞, and additions that would leave the
+    /// representable range saturate to ∞ instead of corrupting the order.
+    #[test]
+    fn bound_encoding_limits(d1 in 0i64..1000, d2 in 0i64..1000,
+                             s1 in any::<bool>(), s2 in any::<bool>()) {
+        // bound.rs encoding limit: constants live in [-MAX_CONST, MAX_CONST].
+        const MAX_CONST: i64 = (i64::MAX >> 2) - 1;
+        let hi = Bound::new(MAX_CONST - d1, s1);
+        let lo = Bound::new(-MAX_CONST + d2, s2);
+        prop_assert_eq!(hi.constant(), MAX_CONST - d1);
+        prop_assert_eq!(lo.constant(), -MAX_CONST + d2);
+        prop_assert_eq!(Bound::from_raw(hi.raw()), hi);
+        prop_assert_eq!(Bound::from_raw(lo.raw()), lo);
+        prop_assert!(lo < hi);
+        prop_assert!(hi < Bound::INFINITY);
+        // Spanning sums stay exact.
+        let sum = hi + lo;
+        prop_assert_eq!(sum.constant(), (MAX_CONST - d1) + (-MAX_CONST + d2));
+        prop_assert_eq!(sum.is_strict(), s1 || s2);
+        // Sums past MAX_CONST saturate to ∞ (sound: ∞ never wins a min);
+        // everything at or below it is exact.
+        let bump = Bound::new(d2, s2);
+        let pushed = hi + bump;
+        if MAX_CONST - d1 + d2 > MAX_CONST {
+            prop_assert!(pushed.is_infinity());
+        } else {
+            prop_assert_eq!(pushed.constant(), MAX_CONST - d1 + d2);
+        }
+    }
 }

@@ -24,6 +24,12 @@ pub mod deque {
     use std::collections::VecDeque;
     use std::sync::{Arc, Mutex};
 
+    /// Upper bound on the number of tasks moved by one batch steal, matching
+    /// the real crate's `MAX_BATCH`.  A thief takes at most half the victim's
+    /// deque and never more than this many tasks, so a single steal cannot
+    /// starve the victim or monopolize the thief.
+    const MAX_BATCH: usize = 32;
+
     /// Result of a steal attempt on an [`Injector`].
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub enum Steal<T> {
@@ -33,6 +39,13 @@ pub mod deque {
         Success(T),
         /// The operation lost a race and should be retried.
         Retry,
+    }
+
+    /// Number of tasks a thief takes from a victim currently holding `len`
+    /// tasks: half of them (rounded up, so a single task is still stolen),
+    /// capped at [`MAX_BATCH`].
+    fn batch_size(len: usize) -> usize {
+        len.div_ceil(2).min(MAX_BATCH)
     }
 
     /// A FIFO queue that any thread can push to and steal from.
@@ -69,6 +82,44 @@ pub mod deque {
                 },
                 Err(_) => Steal::Retry,
             }
+        }
+
+        /// Steals a batch of tasks into `dest` and pops one of them.
+        ///
+        /// Takes up to half the injector's queue (capped at `MAX_BATCH`),
+        /// pushes all but the first onto `dest`, and returns the first —
+        /// the real crate's `steal_batch_and_pop` contract.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                let n = batch_size(q.len());
+                if n == 0 {
+                    return Steal::Empty;
+                }
+                q.drain(..n).collect::<Vec<T>>()
+            };
+            let mut batch = batch.into_iter();
+            let first = batch.next().expect("batch_size > 0");
+            for task in batch {
+                dest.push(task);
+            }
+            Steal::Success(first)
+        }
+
+        /// Steals a batch of tasks into `dest` without popping.
+        pub fn steal_batch(&self, dest: &Worker<T>) -> Steal<()> {
+            let batch = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                let n = batch_size(q.len());
+                if n == 0 {
+                    return Steal::Empty;
+                }
+                q.drain(..n).collect::<Vec<T>>()
+            };
+            for task in batch {
+                dest.push(task);
+            }
+            Steal::Success(())
         }
 
         pub fn len(&self) -> usize {
@@ -179,6 +230,63 @@ pub mod deque {
             }
         }
 
+        /// Drains a batch from the front of the victim's deque (up to half
+        /// its contents, capped at `MAX_BATCH`) while holding its lock only
+        /// once; `None` means the victim is busy (`Steal::Retry`).
+        fn drain_batch(&self) -> Option<Vec<T>> {
+            match self.deque.try_lock() {
+                Ok(mut q) => {
+                    let n = batch_size(q.len());
+                    Some(q.drain(..n).collect())
+                }
+                Err(std::sync::TryLockError::WouldBlock) => None,
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    let mut q = e.into_inner();
+                    let n = batch_size(q.len());
+                    Some(q.drain(..n).collect())
+                }
+            }
+        }
+
+        /// Steals a batch of tasks into `dest` and pops one of them.
+        ///
+        /// One acquisition of the victim's lock moves up to half its deque
+        /// (capped at `MAX_BATCH`) to the thief: all but the first task land
+        /// on `dest`, the first is returned.  Amortizes the per-task steal
+        /// cost that makes single-task stealing a bottleneck under
+        /// fine-grained work.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch = match self.drain_batch() {
+                Some(b) => b,
+                None => return Steal::Retry,
+            };
+            let mut batch = batch.into_iter();
+            match batch.next() {
+                None => Steal::Empty,
+                Some(first) => {
+                    for task in batch {
+                        dest.push(task);
+                    }
+                    Steal::Success(first)
+                }
+            }
+        }
+
+        /// Steals a batch of tasks into `dest` without popping.
+        pub fn steal_batch(&self, dest: &Worker<T>) -> Steal<()> {
+            let batch = match self.drain_batch() {
+                Some(b) => b,
+                None => return Steal::Retry,
+            };
+            if batch.is_empty() {
+                return Steal::Empty;
+            }
+            for task in batch {
+                dest.push(task);
+            }
+            Steal::Success(())
+        }
+
         pub fn len(&self) -> usize {
             self.deque.lock().unwrap_or_else(|e| e.into_inner()).len()
         }
@@ -254,6 +362,63 @@ mod tests {
             }
         });
         assert_eq!(taken.into_inner(), 2000);
+    }
+
+    #[test]
+    fn batch_steal_takes_half_up_to_the_cap() {
+        let victim: Worker<usize> = Worker::new_fifo();
+        let thief: Worker<usize> = Worker::new_fifo();
+        for t in 0..10 {
+            victim.push(t);
+        }
+        // 10 tasks: the thief takes half (5) — the oldest one is returned,
+        // the remaining 4 land on its own deque in order.
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(thief.len(), 4);
+        assert_eq!(victim.len(), 5);
+        assert_eq!(thief.pop(), Some(1));
+        // A huge victim still yields at most MAX_BATCH tasks per steal.
+        let victim: Worker<usize> = Worker::new_fifo();
+        let thief: Worker<usize> = Worker::new_fifo();
+        for t in 0..500 {
+            victim.push(t);
+        }
+        assert_eq!(victim.stealer().steal_batch(&thief), Steal::Success(()));
+        assert_eq!(thief.len(), 32);
+        assert_eq!(victim.len(), 468);
+    }
+
+    #[test]
+    fn batch_steal_on_empty_and_single_task_deques() {
+        let victim: Worker<usize> = Worker::new_fifo();
+        let thief: Worker<usize> = Worker::new_fifo();
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Empty);
+        assert_eq!(victim.stealer().steal_batch(&thief), Steal::Empty);
+        victim.push(7);
+        // A single task is still stolen (half rounds up).
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Success(7));
+        assert!(victim.is_empty() && thief.is_empty());
+    }
+
+    #[test]
+    fn injector_batch_steal_preserves_fifo_order() {
+        let q: Injector<usize> = Injector::new();
+        let w: Worker<usize> = Worker::new_fifo();
+        for t in 0..8 {
+            q.push(t);
+        }
+        assert_eq!(q.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.steal_batch(&w), Steal::Success(()));
+        assert_eq!(w.pop(), Some(4));
+        assert_eq!(q.steal_batch_and_pop(&w), Steal::Success(6));
+        let empty: Injector<usize> = Injector::new();
+        assert_eq!(empty.steal_batch_and_pop(&w), Steal::Empty);
+        assert_eq!(empty.steal_batch(&w), Steal::Empty);
     }
 
     #[test]
