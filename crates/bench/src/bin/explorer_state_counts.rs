@@ -57,7 +57,7 @@ fn to_json(workload: &str, rows: &[Row]) -> String {
             esc(row.column),
             row.storage,
             row.reduction,
-            s.states_stored,
+            s.stored_cumulative,
             s.states_explored,
             s.transitions,
             s.zones_subsumed_by_union,
@@ -148,7 +148,7 @@ fn main() {
                         column.label(),
                         storage_label,
                         if reduction { "on" } else { "off" },
-                        report.stats.states_stored,
+                        report.stats.stored_cumulative,
                         report.stats.states_explored,
                         report.stats.zones_subsumed_by_union,
                         report.stats.zones_evicted,

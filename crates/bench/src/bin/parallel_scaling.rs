@@ -73,12 +73,13 @@ fn to_json(workload: &str, rows: &[Row]) -> String {
         };
         out.push_str(&format!(
             "    {{\"column\": \"{}\", \"storage\": \"{}\", \"workers\": {}, \
-             \"stored\": {}, \"explored\": {}, \"transitions\": {}, \
+             \"stored_cumulative\": {}, \"stored_live\": {}, \"explored\": {}, \"transitions\": {}, \
              \"subsumed_by_union\": {}, \"wcrt_ms\": {}, \"wall_seconds\": {:.6}}}{}\n",
             esc(row.column),
             row.storage,
             row.workers,
-            s.states_stored,
+            s.stored_cumulative,
+            s.stored_live,
             s.states_explored,
             s.transitions,
             s.zones_subsumed_by_union,
@@ -163,7 +164,15 @@ fn main() {
                     }
                 };
                 let wall = report.stats.duration.as_secs_f64();
-                let stored = report.stats.states_stored;
+                // The envelope keeps the pre-split quantities: the sequential
+                // baseline bounds cumulative insertions, parallel rows are
+                // judged on the store's net live footprint (what the workers
+                // actually hold), as the guard always did.
+                let stored = if workers == 0 {
+                    report.stats.stored_cumulative
+                } else {
+                    report.stats.stored_live
+                };
                 rows.push(Row {
                     column: column.label(),
                     storage: storage_label,

@@ -72,7 +72,7 @@ fn main() {
                             "{:<12} {:<30} {:>10} {:>12.2?} {:>12}  {}",
                             combo_name,
                             column.label(),
-                            report.stats.states_stored,
+                            report.stats.stored_cumulative,
                             start.elapsed(),
                             format!("{order:?}"),
                             value

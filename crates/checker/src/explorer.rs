@@ -43,6 +43,15 @@ pub struct SearchProgress {
     pub states_explored: usize,
     /// Symbolic states currently held by the passed/waiting store.
     pub states_stored: usize,
+    /// Current waiting-list depth: states queued for expansion (for the
+    /// parallel checker: queued **or in flight** across all workers) — the
+    /// live signal a progress stream needs to show how much frontier
+    /// remains.
+    pub waiting: usize,
+    /// Number of exploration threads currently busy expanding states: always
+    /// `1` for the sequential explorer; for the parallel checker the worker
+    /// count minus the workers presently idling in the termination backoff.
+    pub workers_active: usize,
     /// Wall-clock time since the exploration started.
     pub elapsed: Duration,
 }
@@ -202,16 +211,35 @@ impl SearchOptions {
 }
 
 /// Statistics about one exploration run.
+#[allow(deprecated)] // the derives touch the deprecated `states_stored` alias
 #[derive(Clone, Debug, Default)]
 pub struct ExplorationStats {
     /// Symbolic states popped from the waiting list and expanded.
     pub states_explored: usize,
-    /// Symbolic states stored in the passed/waiting structure (after
-    /// inclusion subsumption).  The sequential explorer counts cumulative
-    /// insertions (zones later absorbed by subsumption or merging still
-    /// count — this is also what `max_states` bounds); the parallel explorer
-    /// reports the net live count.
+    /// Deprecated alias whose meaning depended on the explorer: the
+    /// sequential explorer stored cumulative insertions here while the
+    /// parallel explorer stored the net live count, so comparing the field
+    /// across explorers silently compared different quantities.  Both
+    /// explorers still populate it with their historical value; new code
+    /// reads [`ExplorationStats::stored_cumulative`] or
+    /// [`ExplorationStats::stored_live`] and says which one it means.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `stored_cumulative` (what `max_states` bounds) or `stored_live` \
+                (the store's net footprint); this alias is sequential-cumulative but \
+                parallel-live"
+    )]
     pub states_stored: usize,
+    /// Cumulative successful insertions into the passed/waiting structure
+    /// (after inclusion subsumption; zones later absorbed by merging or
+    /// eviction still count).  This is the quantity
+    /// [`SearchOptions::max_states`] bounds on the sequential explorer (the
+    /// parallel explorer bounds its live count instead).
+    pub stored_cumulative: usize,
+    /// Net number of symbolic states (zones) held by the passed/waiting
+    /// store when the exploration finished — the store's memory footprint;
+    /// equals [`ExplorationStats::zones_live`].
+    pub stored_live: usize,
     /// Zone-graph transitions computed.
     pub transitions: usize,
     /// Wall-clock duration of the exploration.
@@ -240,8 +268,8 @@ pub struct ExplorationStats {
     pub zones_evicted: usize,
     /// Net number of zones held by the passed/waiting store when the
     /// exploration finished — the store's memory footprint, as opposed to
-    /// [`ExplorationStats::states_stored`], which (sequentially) counts
-    /// cumulative insertions.
+    /// [`ExplorationStats::stored_cumulative`], which counts cumulative
+    /// insertions.  Same value as [`ExplorationStats::stored_live`].
     pub zones_live: usize,
 }
 
@@ -345,7 +373,7 @@ impl<'s> Explorer<'s> {
             action: None,
         });
         waiting.push_back(0);
-        stats.states_stored = 1;
+        stats.stored_cumulative = 1;
         stats.peak_waiting = 1;
 
         let mut found: Option<usize> = None;
@@ -384,7 +412,9 @@ impl<'s> Explorer<'s> {
                     }
                     progress(&SearchProgress {
                         states_explored: stats.states_explored,
-                        states_stored: stats.states_stored,
+                        states_stored: stats.stored_cumulative,
+                        waiting: waiting.len(),
+                        workers_active: 1,
                         elapsed: start.elapsed(),
                     });
                 }
@@ -410,11 +440,15 @@ impl<'s> Explorer<'s> {
                     break 'search;
                 }
             }
-            let mut succs = gen.successors(&state)?;
+            let mut succs = {
+                let _span = tempo_obs::span!("explore.successor_gen");
+                gen.successors(&state)?
+            };
             stats.transitions += succs.len();
             if self.opts.order == SearchOrder::RandomDfs {
                 succs.shuffle(&mut rng);
             }
+            let _insert_span = tempo_obs::span!("explore.store_insert");
             for (mut succ, action) in succs {
                 if succ.zone.is_empty() {
                     continue;
@@ -449,10 +483,10 @@ impl<'s> Explorer<'s> {
                     action: Some(action),
                 });
                 waiting.push_back(node_idx);
-                stats.states_stored += 1;
+                stats.stored_cumulative += 1;
                 stats.peak_waiting = stats.peak_waiting.max(waiting.len());
                 if let Some(limit) = self.opts.max_states {
-                    if stats.states_stored > limit {
+                    if stats.stored_cumulative > limit {
                         if self.opts.truncate_on_limit {
                             stats.truncated = true;
                         } else {
@@ -468,6 +502,12 @@ impl<'s> Explorer<'s> {
 
         stats.clocks_eliminated = gen.clocks_eliminated();
         stats.zones_live = passed.live_zones();
+        stats.stored_live = stats.zones_live;
+        // The deprecated alias keeps its historical sequential semantics.
+        #[allow(deprecated)]
+        {
+            stats.states_stored = stats.stored_cumulative;
+        }
         stats.duration = start.elapsed();
         let trace = found.map(|mut idx| {
             let mut rev = Vec::new();
@@ -520,9 +560,10 @@ impl<'s> Explorer<'s> {
         Ok(stats)
     }
 
-    /// Number of stored symbolic states of the full reachable zone graph.
+    /// Number of stored symbolic states of the full reachable zone graph
+    /// (cumulative insertions, see [`ExplorationStats::stored_cumulative`]).
     pub fn state_space_size(&self) -> Result<usize, CheckError> {
-        Ok(self.explore(|_| {})?.states_stored)
+        Ok(self.explore(|_| {})?.stored_cumulative)
     }
 }
 
@@ -657,10 +698,10 @@ mod tests {
         assert!(stats_on.clocks_eliminated > 0, "reduction did not fire");
         assert_eq!(stats_off.clocks_eliminated, 0);
         assert!(
-            stats_on.states_stored < stats_off.states_stored,
+            stats_on.stored_cumulative < stats_off.stored_cumulative,
             "reduction should merge states: {} vs {}",
-            stats_on.states_stored,
-            stats_off.states_stored
+            stats_on.stored_cumulative,
+            stats_off.stored_cumulative
         );
         assert!(stats_on.peak_waiting >= 1 && stats_off.peak_waiting >= 1);
         // Verdicts agree regardless of the reduction.
@@ -696,7 +737,12 @@ mod tests {
         let ex = Explorer::new(&sys, opts).unwrap();
         let stats = ex.explore(|_| {}).unwrap();
         assert!(stats.truncated);
-        assert!(stats.states_stored <= 4);
+        assert!(stats.stored_cumulative <= 4);
+        // The deprecated alias mirrors the cumulative count sequentially.
+        #[allow(deprecated)]
+        {
+            assert_eq!(stats.states_stored, stats.stored_cumulative);
+        }
     }
 
     #[test]

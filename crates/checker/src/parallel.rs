@@ -89,6 +89,9 @@ struct WorkerOutcome {
     explored: usize,
     transitions: usize,
     eliminated: usize,
+    /// Successful store insertions by this worker (the worker's share of
+    /// [`ExplorationStats::stored_cumulative`]).
+    stored: usize,
     error: Option<CheckError>,
 }
 
@@ -156,6 +159,9 @@ impl<'s> Explorer<'s> {
         let truncated = AtomicBool::new(false);
         let limit_exceeded = AtomicBool::new(false);
         let cancelled = AtomicBool::new(false);
+        // Workers currently spinning in the termination backoff; progress
+        // callbacks report `workers - idle` as `workers_active`.
+        let idle_workers = AtomicUsize::new(0);
 
         let mut init = init;
         passed.insert(&init.discrete, &mut init.zone, false);
@@ -184,13 +190,25 @@ impl<'s> Explorer<'s> {
                 let cancelled = &cancelled;
                 let explored_total = &explored_total;
                 let next_progress = &next_progress;
+                let idle_workers = &idle_workers;
                 handles.push(scope.spawn(move || {
                     let mut outcome = WorkerOutcome {
                         explored: 0,
                         transitions: 0,
                         eliminated: 0,
+                        stored: 0,
                         error: None,
                     };
+                    let _worker_span = tempo_obs::span!("par.worker", index);
+                    // Worker-local observability accumulators, flushed as
+                    // counters when the worker exits so the disabled fast
+                    // path costs nothing and the enabled path stays off the
+                    // subscriber lock per steal/spin.
+                    let mut obs_steals = 0u64;
+                    let mut obs_steal_batch = 0u64;
+                    let mut obs_idle_spins = 0u64;
+                    let mut obs_idle_nanos = 0u64;
+                    let mut obs_requeues = 0u64;
                     // Outer unwind barrier: a panic escaping the
                     // per-expansion barrier below (e.g. thrown by a progress
                     // callback) must not kill the thread silently — its
@@ -207,6 +225,7 @@ impl<'s> Explorer<'s> {
                             }
                         };
                         let mut panics = 0usize;
+                        let mut is_idle = false;
                         loop {
                             if stop.load(Ordering::SeqCst) {
                                 break;
@@ -231,6 +250,9 @@ impl<'s> Explorer<'s> {
                                         break;
                                     }
                                 }
+                                // Sample the deque depth on the same coarse
+                                // stride as the deadline check.
+                                tempo_obs::histogram("par.deque_depth", local.len() as u64);
                             }
                             if let Some(progress) = &hook.progress {
                                 // Fire when the *global* expansion counter
@@ -274,6 +296,12 @@ impl<'s> Explorer<'s> {
                                     progress(&SearchProgress {
                                         states_explored: total,
                                         states_stored: passed.live_zones(),
+                                        waiting: pending.load(Ordering::SeqCst),
+                                        // The reporting worker is busy by
+                                        // definition, so at least one.
+                                        workers_active: workers
+                                            .saturating_sub(idle_workers.load(Ordering::Relaxed))
+                                            .max(1),
                                         elapsed: start.elapsed(),
                                     });
                                 }
@@ -286,19 +314,30 @@ impl<'s> Explorer<'s> {
                             // of once per state.
                             let next = local.pop().or_else(|| {
                                 let mut contended = false;
-                                match queue.steal_batch_and_pop(&local) {
-                                    Steal::Success(s) => return Some(s),
-                                    Steal::Retry => contended = true,
-                                    Steal::Empty => {}
-                                }
-                                for k in 1..stealers.len() {
-                                    match stealers[(index + k) % stealers.len()]
-                                        .steal_batch_and_pop(&local)
-                                    {
-                                        Steal::Success(s) => return Some(s),
+                                let stolen = 'steal: {
+                                    match queue.steal_batch_and_pop(&local) {
+                                        Steal::Success(s) => break 'steal Some(s),
                                         Steal::Retry => contended = true,
                                         Steal::Empty => {}
                                     }
+                                    for k in 1..stealers.len() {
+                                        match stealers[(index + k) % stealers.len()]
+                                            .steal_batch_and_pop(&local)
+                                        {
+                                            Steal::Success(s) => break 'steal Some(s),
+                                            Steal::Retry => contended = true,
+                                            Steal::Empty => {}
+                                        }
+                                    }
+                                    None
+                                };
+                                if stolen.is_some() {
+                                    // A successful steal moved a batch onto
+                                    // our (previously dry) deque and popped
+                                    // one state off it.
+                                    obs_steals += 1;
+                                    obs_steal_batch += local.len() as u64 + 1;
+                                    return stolen;
                                 }
                                 if contended {
                                     // Lost a race; pretend the deques were
@@ -309,12 +348,29 @@ impl<'s> Explorer<'s> {
                                 None
                             });
                             let state = match next {
-                                Some(s) => s,
+                                Some(s) => {
+                                    if is_idle {
+                                        is_idle = false;
+                                        idle_workers.fetch_sub(1, Ordering::Relaxed);
+                                    }
+                                    s
+                                }
                                 None => {
                                     if pending.load(Ordering::SeqCst) == 0 {
                                         break;
                                     }
-                                    std::thread::yield_now();
+                                    if !is_idle {
+                                        is_idle = true;
+                                        idle_workers.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    obs_idle_spins += 1;
+                                    if tempo_obs::enabled() {
+                                        let spin = Instant::now();
+                                        std::thread::yield_now();
+                                        obs_idle_nanos += spin.elapsed().as_nanos() as u64;
+                                    } else {
+                                        std::thread::yield_now();
+                                    }
                                     continue;
                                 }
                             };
@@ -350,8 +406,12 @@ impl<'s> Explorer<'s> {
                                             return Ok(true);
                                         }
                                     }
-                                    let succs = gen.successors(&state)?;
+                                    let succs = {
+                                        let _span = tempo_obs::span!("explore.successor_gen");
+                                        gen.successors(&state)?
+                                    };
                                     outcome.transitions += succs.len();
+                                    let _insert_span = tempo_obs::span!("explore.store_insert");
                                     for (mut succ, _action) in succs {
                                         if succ.zone.is_empty() {
                                             continue;
@@ -372,7 +432,7 @@ impl<'s> Explorer<'s> {
                                         {
                                             // Aggregate counters live in the store.
                                             Insert::Subsumed { .. } => continue,
-                                            Insert::Inserted { .. } => {}
+                                            Insert::Inserted { .. } => outcome.stored += 1,
                                         }
                                         if let Some(limit) = max_states {
                                             if passed.live_zones() > limit {
@@ -434,9 +494,13 @@ impl<'s> Explorer<'s> {
                                         }
                                         break;
                                     }
+                                    obs_requeues += 1;
                                     queue.push(state);
                                 }
                             }
+                        }
+                        if is_idle {
+                            idle_workers.fetch_sub(1, Ordering::Relaxed);
                         }
                         outcome.eliminated = gen.clocks_eliminated();
                     }));
@@ -447,6 +511,20 @@ impl<'s> Explorer<'s> {
                                 payload: panic_message(payload),
                             });
                         }
+                    }
+                    // Flush the worker-local observability accumulators (a
+                    // handful of atomic loads when disabled, one subscriber
+                    // round-trip each when enabled).
+                    if obs_steals > 0 {
+                        tempo_obs::counter("par.steals", obs_steals);
+                        tempo_obs::counter("par.steal_batch_states", obs_steal_batch);
+                    }
+                    if obs_idle_spins > 0 {
+                        tempo_obs::counter("par.idle_spins", obs_idle_spins);
+                        tempo_obs::counter("par.idle_nanos", obs_idle_nanos);
+                    }
+                    if obs_requeues > 0 {
+                        tempo_obs::counter("par.requeues_after_panic", obs_requeues);
                     }
                     outcome
                 }));
@@ -460,6 +538,7 @@ impl<'s> Explorer<'s> {
                         explored: 0,
                         transitions: 0,
                         eliminated: 0,
+                        stored: 0,
                         error: Some(CheckError::WorkerPanicked {
                             payload: panic_message(payload),
                         }),
@@ -472,9 +551,19 @@ impl<'s> Explorer<'s> {
             stats.states_explored += outcome.explored;
             stats.transitions += outcome.transitions;
             stats.clocks_eliminated += outcome.eliminated;
+            stats.stored_cumulative += outcome.stored;
         }
-        stats.states_stored = passed.live_zones();
+        // The seed insert before the workers started counts too, mirroring
+        // the sequential explorer.
+        stats.stored_cumulative += 1;
         stats.zones_live = passed.live_zones();
+        stats.stored_live = stats.zones_live;
+        // The deprecated alias keeps its historical parallel semantics (net
+        // live count) so existing consumers see unchanged values.
+        #[allow(deprecated)]
+        {
+            stats.states_stored = stats.stored_live;
+        }
         stats.truncated = truncated.load(Ordering::SeqCst);
         stats.zones_merged = passed.zones_merged();
         stats.zones_evicted = passed.zones_evicted();
@@ -542,7 +631,7 @@ impl<'s> Explorer<'s> {
 
     /// Parallel variant of [`Explorer::state_space_size`].
     pub fn par_state_space_size(&self, par: &ParallelOptions) -> Result<usize, CheckError> {
-        Ok(self.par_explore(&|_| {}, par)?.states_stored)
+        Ok(self.par_explore(&|_| {}, par)?.stored_cumulative)
     }
 
     /// Parallel variant of [`Explorer::sup_clock_at`]: computes

@@ -82,10 +82,20 @@ impl StateStore for FederationStore {
             .is_some_and(|hull| hull.includes(zone));
         if inside_hull {
             match entry.fed.coverage_of(zone) {
-                ZoneCoverage::Member => return Insert::Subsumed { by_union: false },
-                ZoneCoverage::Union => return Insert::Subsumed { by_union: true },
+                ZoneCoverage::Member => {
+                    tempo_obs::counter("store.subsumed", 1);
+                    return Insert::Subsumed { by_union: false };
+                }
+                ZoneCoverage::Union => {
+                    tempo_obs::counter("store.subsumed_by_union", 1);
+                    return Insert::Subsumed { by_union: true };
+                }
                 ZoneCoverage::NotCovered => {}
             }
+        } else if entry.hull.is_some() {
+            // The newcomer pokes out of the cached hull: the per-member
+            // coverage scan was skipped entirely.
+            tempo_obs::counter("store.hull_short_circuit", 1);
         }
         let merged = if merge {
             entry.fed.absorb_convex(zone, MERGE_ATTEMPT_BUDGET)
@@ -107,8 +117,15 @@ impl StateStore for FederationStore {
         if entry.fed.size() >= entry.next_reduce {
             evicted += entry.fed.reduce();
             entry.next_reduce = (entry.fed.size() * 2).max(MIN_REDUCE_THRESHOLD);
+            tempo_obs::counter("store.reduce_passes", 1);
         }
         self.live = self.live + 1 - evicted - merged;
+        if evicted > 0 {
+            tempo_obs::counter("store.evicted", evicted as u64);
+        }
+        if merged > 0 {
+            tempo_obs::counter("store.merged", merged as u64);
+        }
         Insert::Inserted { evicted, merged }
     }
 

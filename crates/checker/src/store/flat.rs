@@ -42,6 +42,7 @@ impl StateStore for FlatStore {
         };
         let zones = &mut self.zones[id as usize];
         if zones.iter().any(|z| z.includes(zone)) {
+            tempo_obs::counter("store.subsumed", 1);
             return Insert::Subsumed { by_union: false };
         }
         // Drop stored zones now subsumed by the new one.
@@ -55,6 +56,12 @@ impl StateStore for FlatStore {
         };
         zones.push(zone.clone());
         self.live = self.live + 1 - evicted - merged;
+        if evicted > 0 {
+            tempo_obs::counter("store.evicted", evicted as u64);
+        }
+        if merged > 0 {
+            tempo_obs::counter("store.merged", merged as u64);
+        }
         Insert::Inserted { evicted, merged }
     }
 

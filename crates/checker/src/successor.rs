@@ -551,6 +551,12 @@ impl<'s> SuccessorGen<'s> {
                 zone.reset(c.dbm_clock(), *v);
             }
         }
+        // Steps 5–8 are the close/extrapolate phase: everything from here on
+        // re-canonicalizes the zone (reduction, invariants, delay closure,
+        // ExtraLU widening), as opposed to the guard/reset arithmetic above.
+        // The span nests inside the explorer's `explore.successor_gen`, so a
+        // trace shows how much of successor generation is canonicalization.
+        let _span = tempo_obs::span!("explore.close_extrapolate");
         // 5. active-clock reduction: clocks that are dead in the new discrete
         //    state are reset to the canonical value, as if the transition had
         //    reset them (sound because a dead clock is reset on every path

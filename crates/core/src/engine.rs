@@ -1007,7 +1007,7 @@ impl<'m> Session<'m> {
         let (estimates, verdict, states_stored, truncated) = match query {
             Query::Wcrt { requirement } => {
                 let report = self.wcrt_with(requirement, &cfg)?;
-                let states = report.stats.states_stored;
+                let states = report.stats.stored_cumulative;
                 let truncated = report.stats.truncated;
                 (
                     vec![RequirementEstimate::from_wcrt(&report)],
@@ -1018,7 +1018,7 @@ impl<'m> Session<'m> {
             }
             Query::Supremum { requirement } => {
                 let report = self.wcrt_with(requirement, &cfg)?;
-                let states = report.stats.states_stored;
+                let states = report.stats.stored_cumulative;
                 let truncated = report.stats.truncated;
                 let mut estimate = RequirementEstimate::from_wcrt(&report);
                 estimate.meets_deadline = None;
@@ -1026,7 +1026,7 @@ impl<'m> Session<'m> {
             }
             Query::DeadlineCheck { requirement } => {
                 let report = self.wcrt_with(requirement, &cfg)?;
-                let states = report.stats.states_stored;
+                let states = report.stats.stored_cumulative;
                 let truncated = report.stats.truncated;
                 let verdict = report.meets_deadline;
                 (
@@ -1038,7 +1038,7 @@ impl<'m> Session<'m> {
             }
             Query::WcrtAll => {
                 let reports = self.wcrt_all_with(&cfg)?;
-                let states = reports.iter().map(|r| r.stats.states_stored).max();
+                let states = reports.iter().map(|r| r.stats.stored_cumulative).max();
                 let truncated = reports.iter().any(|r| r.stats.truncated);
                 (
                     reports.iter().map(RequirementEstimate::from_wcrt).collect(),
@@ -1345,6 +1345,7 @@ impl Portfolio {
         for engine in &self.engines {
             let capabilities = engine.capabilities();
             let (outcome, attempts) = if capabilities.supports(query) {
+                let _span = tempo_obs::span!("portfolio.engine", engine.name());
                 self.run_with_retries(engine.as_ref(), model, query, ctx, shared_deadline)
             } else {
                 let declined = Err(EngineError::Unsupported {
@@ -1353,10 +1354,19 @@ impl Portfolio {
                 });
                 (declined, 0)
             };
+            let status = EngineStatus::classify(&outcome);
+            if !matches!(status, EngineStatus::Ok) {
+                tempo_obs::event!(
+                    "portfolio.degraded",
+                    engine = engine.name(),
+                    status = format!("{status:?}"),
+                    attempts = attempts
+                );
+            }
             rows.push(EngineRow {
                 engine: engine.name().into(),
                 bound: capabilities.bound,
-                status: EngineStatus::classify(&outcome),
+                status,
                 attempts,
                 outcome,
             });
@@ -1466,6 +1476,12 @@ impl Portfolio {
                     if !retry {
                         return (Ok(report), attempts);
                     }
+                    tempo_obs::event!(
+                        "portfolio.retry",
+                        engine = engine.name(),
+                        attempt = attempts,
+                        reason = "truncated"
+                    );
                     best_ok = Some(report);
                 }
                 Err(e) => {
@@ -1473,6 +1489,12 @@ impl Portfolio {
                     if !retry {
                         return (best_ok.map(Ok).unwrap_or(Err(e)), attempts);
                     }
+                    tempo_obs::event!(
+                        "portfolio.retry",
+                        engine = engine.name(),
+                        attempt = attempts,
+                        reason = format!("transient: {e}")
+                    );
                 }
             }
             if let Some(b) = attempt_ctx.budget.wall_clock {

@@ -258,12 +258,25 @@ pub struct DbStats {
     pub invalidations: u64,
     /// Timed-automata networks generated (cache misses of the network layer).
     pub generations: u64,
+    /// Cumulative wall-clock nanoseconds spent generating networks on cache
+    /// misses of the network layer (clamped to at least 1 ns per miss so a
+    /// sub-timer-tick generation still registers).
+    pub generation_nanos: u64,
+    /// Cumulative wall-clock nanoseconds spent exploring on query cache
+    /// misses (same 1 ns-per-miss clamp).
+    pub exploration_nanos: u64,
 }
 
 impl DbStats {
     /// Total queries served (hits + misses).
     pub fn queries(&self) -> u64 {
         self.hits + self.misses
+    }
+
+    /// The discrete counters as a `(hits, misses, invalidations, generations)`
+    /// tuple — for exact asserts that should not pin the timing fields.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations, self.generations)
     }
 }
 
@@ -331,10 +344,17 @@ impl AnalysisDb {
     fn observe_cone(inner: &mut DbInner, model: &ArchitectureModel, query_key: String, cone: u64) {
         let prev = inner
             .last_cone
-            .insert((model.name.clone(), query_key), cone);
+            .insert((model.name.clone(), query_key.clone()), cone);
         if let Some(prev) = prev {
             if prev != cone {
                 inner.stats.invalidations += 1;
+                tempo_obs::event!(
+                    "db.invalidate",
+                    model = model.name.as_str(),
+                    query = query_key.as_str(),
+                    old_cone = prev,
+                    new_cone = cone
+                );
             }
         }
     }
@@ -349,9 +369,14 @@ impl AnalysisDb {
         if let Some(g) = self.inner.lock().expect("analysis db lock").networks.get(&key) {
             return Ok(Arc::clone(g));
         }
+        let gen_started = Instant::now();
         let generated = Arc::new(generate(model, observed, &self.cfg.generator)?);
+        let gen_nanos = u64::try_from(gen_started.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
         let mut inner = self.inner.lock().expect("analysis db lock");
         inner.stats.generations += 1;
+        inner.stats.generation_nanos += gen_nanos;
         inner.networks.insert(key, Arc::clone(&generated));
         Ok(generated)
     }
@@ -413,20 +438,26 @@ impl AnalysisDb {
             Self::observe_cone(&mut inner, model, format!("wcrt:{requirement}"), cone);
             if let Some(report) = inner.estimates.get(&cone).cloned() {
                 inner.stats.hits += 1;
+                tempo_obs::event!("db.hit", query = requirement, cone = cone);
                 return Ok(report);
             }
             inner.stats.misses += 1;
+            tempo_obs::event!("db.miss", query = requirement, cone = cone);
         }
         // Compute outside the lock so sweep workers explore concurrently;
         // a racing duplicate of the same cone is wasted work, not an error.
         let generated = self.network(model, Some(&req))?;
+        let explore_started = Instant::now();
         let report = analyze_generated(&generated, &req, cfg)?;
-        if !report.stats.truncated {
-            self.inner
-                .lock()
-                .expect("analysis db lock")
-                .estimates
-                .insert(cone, report.clone());
+        let explore_nanos = u64::try_from(explore_started.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        {
+            let mut inner = self.inner.lock().expect("analysis db lock");
+            inner.stats.exploration_nanos += explore_nanos;
+            if !report.stats.truncated {
+                inner.estimates.insert(cone, report.clone());
+            }
         }
         Ok(report)
     }
@@ -449,19 +480,25 @@ impl AnalysisDb {
             Self::observe_cone(&mut inner, model, "queues".to_string(), cone);
             if let Some(outcome) = inner.queue_checks.get(&cone).cloned() {
                 inner.stats.hits += 1;
+                tempo_obs::event!("db.hit", query = "queues", cone = cone);
                 return match outcome {
                     QueueOutcome::Bounded(stats) => Ok(stats),
                     QueueOutcome::Overflow(detail) => Err(ArchError::QueueOverflow { detail }),
                 };
             }
             inner.stats.misses += 1;
+            tempo_obs::event!("db.miss", query = "queues", cone = cone);
         }
         let generated = self.network(model, None)?;
         let explorer = tempo_check::Explorer::new(&generated.system, cfg.search.clone())?;
+        let explore_started = Instant::now();
         let outcome = match &cfg.parallel {
             Some(par) => explorer.par_explore(&|_| {}, par),
             None => explorer.explore(|_| {}),
         };
+        let explore_nanos = u64::try_from(explore_started.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
         let result = outcome.map_err(ArchError::from);
         let cacheable = match &result {
             Ok(stats) if !stats.truncated => Some(QueueOutcome::Bounded(stats.clone())),
@@ -470,12 +507,12 @@ impl AnalysisDb {
             }
             _ => None,
         };
-        if let Some(outcome) = cacheable {
-            self.inner
-                .lock()
-                .expect("analysis db lock")
-                .queue_checks
-                .insert(cone, outcome);
+        {
+            let mut inner = self.inner.lock().expect("analysis db lock");
+            inner.stats.exploration_nanos += explore_nanos;
+            if let Some(outcome) = cacheable {
+                inner.queue_checks.insert(cone, outcome);
+            }
         }
         result
     }
@@ -513,7 +550,7 @@ impl AnalysisDb {
         let (estimates, verdict, states_stored, truncated) = match query {
             Query::Wcrt { requirement } => {
                 let report = self.wcrt_with(model, requirement, &cfg)?;
-                let states = report.stats.states_stored;
+                let states = report.stats.stored_cumulative;
                 let truncated = report.stats.truncated;
                 (
                     vec![RequirementEstimate::from_wcrt(&report)],
@@ -524,7 +561,7 @@ impl AnalysisDb {
             }
             Query::Supremum { requirement } => {
                 let report = self.wcrt_with(model, requirement, &cfg)?;
-                let states = report.stats.states_stored;
+                let states = report.stats.stored_cumulative;
                 let truncated = report.stats.truncated;
                 let mut estimate = RequirementEstimate::from_wcrt(&report);
                 estimate.meets_deadline = None;
@@ -532,7 +569,7 @@ impl AnalysisDb {
             }
             Query::DeadlineCheck { requirement } => {
                 let report = self.wcrt_with(model, requirement, &cfg)?;
-                let states = report.stats.states_stored;
+                let states = report.stats.stored_cumulative;
                 let truncated = report.stats.truncated;
                 let verdict = report.meets_deadline;
                 (
@@ -548,7 +585,7 @@ impl AnalysisDb {
                     .iter()
                     .map(|r| self.wcrt_with(model, &r.name, &cfg))
                     .collect::<Result<_, _>>()?;
-                let states = reports.iter().map(|r| r.stats.states_stored).max();
+                let states = reports.iter().map(|r| r.stats.stored_cumulative).max();
                 let truncated = reports.iter().any(|r| r.stats.truncated);
                 (
                     reports.iter().map(RequirementEstimate::from_wcrt).collect(),
@@ -685,12 +722,12 @@ mod tests {
         let db = AnalysisDb::new(AnalysisConfig::default());
         let cold0 = db.wcrt(&m, "r0").unwrap();
         let cold1 = db.wcrt(&m, "r1").unwrap();
-        assert_eq!(db.stats(), DbStats { hits: 0, misses: 2, invalidations: 0, generations: 2 });
+        assert_eq!(db.stats().counts(), (0, 2, 0, 2));
 
         // Warm re-run: all hits, nothing invalidated, nothing generated.
         assert_eq!(db.wcrt(&m, "r0").unwrap().wcrt, cold0.wcrt);
         assert_eq!(db.wcrt(&m, "r1").unwrap().wcrt, cold1.wcrt);
-        assert_eq!(db.stats(), DbStats { hits: 2, misses: 2, invalidations: 0, generations: 2 });
+        assert_eq!(db.stats().counts(), (2, 2, 0, 2));
 
         // Edit island B (on the 1 ms grid, so the shared tick is unchanged):
         // r1 invalidates and re-explores, r0 still hits.
@@ -702,14 +739,14 @@ mod tests {
         assert_eq!(db.wcrt(&edited, "r0").unwrap().wcrt, cold0.wcrt);
         let r1 = db.wcrt(&edited, "r1").unwrap();
         assert!(r1.wcrt.unwrap() > cold1.wcrt.unwrap());
-        assert_eq!(db.stats(), DbStats { hits: 1, misses: 1, invalidations: 1, generations: 1 });
+        assert_eq!(db.stats().counts(), (1, 1, 1, 1));
 
         // Editing back restores the original cones: both hits again, but the
         // r1 cone did change relative to its previous observation.
         db.reset_stats();
         assert_eq!(db.wcrt(&m, "r0").unwrap().wcrt, cold0.wcrt);
         assert_eq!(db.wcrt(&m, "r1").unwrap().wcrt, cold1.wcrt);
-        assert_eq!(db.stats(), DbStats { hits: 2, misses: 0, invalidations: 1, generations: 0 });
+        assert_eq!(db.stats().counts(), (2, 0, 1, 0));
     }
 
     #[test]

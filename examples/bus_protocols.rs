@@ -75,7 +75,7 @@ fn report(label: &str, model: &ArchitectureModel) {
             "{label:<42} alarm WCRT = {:>8.3} ms   deadline met: {:?}   ({} symbolic states)",
             rep.wcrt_ms().unwrap_or(f64::NAN),
             rep.meets_deadline.unwrap_or(false),
-            rep.stats.states_stored
+            rep.stats.stored_cumulative
         ),
         Err(e) => println!("{label:<42} analysis failed: {e}"),
     }

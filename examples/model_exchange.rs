@@ -128,10 +128,10 @@ fn main() {
     println!(
         "frame latency WCRT: sequential = {:.3} ms ({} states, {:?}), parallel = {:.3} ms ({} states, {:?})",
         to_ms(sequential.exact_value()),
-        sequential.stats.states_stored,
+        sequential.stats.stored_cumulative,
         sequential.stats.duration,
         to_ms(parallel.exact_value()),
-        parallel.stats.states_stored,
+        parallel.stats.stored_cumulative,
         parallel.stats.duration,
     );
     assert_eq!(sequential.exact_value(), parallel.exact_value());

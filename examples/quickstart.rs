@@ -87,7 +87,7 @@ fn main() {
             report.wcrt_ms().unwrap_or(f64::NAN),
             report.deadline.as_millis_f64(),
             report.meets_deadline.unwrap_or(false),
-            report.stats.states_stored,
+            report.stats.stored_cumulative,
         );
     }
 

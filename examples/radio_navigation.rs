@@ -75,7 +75,7 @@ fn main() {
                     println!(
                         "  {requirement:<38} [{combo_name}]  WCRT = {value:>10}  (deadline {:>8.1}, {} states, {:.2?})",
                         report.deadline.as_millis_f64(),
-                        report.stats.states_stored,
+                        report.stats.stored_cumulative,
                         start.elapsed(),
                     );
                 }

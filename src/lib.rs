@@ -144,6 +144,59 @@
 //! portfolio under a matrix of fault seeds and asserts every answer is the
 //! fault-free baseline, a sound bound of it, or a typed error — never a
 //! divergent verdict.
+//!
+//! ## Observability
+//!
+//! The engines are instrumented end to end with [`tempo_obs`] (re-exported
+//! as [`obs`]): per-phase spans in both explorers (successor generation,
+//! closure + extrapolation, store insertion), store counters (subsumption
+//! hits, hull short-circuits, evictions, merges), work-stealing telemetry
+//! (steal counts, batch sizes, deque depth, idle time, requeues after a
+//! worker panic), per-engine portfolio spans with retry/degradation events,
+//! and analysis-database hit/miss/invalidation events carrying the input-cone
+//! hashes.  With **no subscriber installed the whole layer costs one relaxed
+//! atomic load per site** — the `trace_explore` bench asserts the
+//! no-subscriber wall stays inside the uninstrumented envelope.  Install a
+//! subscriber to collect:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tempo::arch::prelude::*;
+//! use tempo::obs::MetricsRegistry;
+//!
+//! # let mut model = ArchitectureModel::new("observed");
+//! # let cpu = model.add_processor("CPU", 100, SchedulingPolicy::FixedPriorityPreemptive);
+//! # let s = model.add_scenario(Scenario {
+//! #     name: "control".into(),
+//! #     stimulus: EventModel::Periodic { period: TimeValue::millis(5) },
+//! #     priority: 0,
+//! #     steps: vec![Step::Execute { operation: "loop".into(), instructions: 100_000, on: cpu }],
+//! # });
+//! # model.add_requirement(Requirement {
+//! #     name: "control latency".into(),
+//! #     scenario: s,
+//! #     from: MeasurePoint::Stimulus,
+//! #     to: MeasurePoint::AfterStep(0),
+//! #     deadline: TimeValue::millis(5),
+//! # });
+//! let registry = Arc::new(MetricsRegistry::new());
+//! tempo::obs::install(registry.clone());
+//!
+//! let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+//! session.run(&Query::WcrtAll, &RunContext::default()).unwrap();
+//! tempo::obs::uninstall();
+//!
+//! let snapshot = registry.snapshot();
+//! assert!(snapshot.span_count("explore.successor_gen") > 0);
+//! assert!(snapshot.span_total_nanos("explore.store_insert") > 0);
+//! // `snapshot.to_json()` renders the full phase/counter breakdown.
+//! ```
+//!
+//! Two more subscribers ship in the box: [`obs::JsonlSubscriber`] captures
+//! the raw event stream (machine-checkable with [`obs::validate_jsonl`]) and
+//! [`obs::ChromeTraceSubscriber`] exports an `about:tracing` / Perfetto
+//! timeline.  The `trace_explore` bench binary runs a Table 1 column under
+//! each and writes `BENCH_trace.json` with the phase-time breakdown.
 #![forbid(unsafe_code)]
 
 /// Difference bound matrices (clock zones).
@@ -152,6 +205,9 @@ pub use tempo_dbm as dbm;
 pub use tempo_ta as ta;
 /// Zone-graph model checker.
 pub use tempo_check as check;
+/// Structured tracing and metrics: spans, counters, histograms, events, and
+/// the in-memory / JSONL / Chrome-trace subscribers.
+pub use tempo_obs as obs;
 /// Architecture front-end, WCRT analysis and the unified engine API (the
 /// paper's contribution).
 pub use tempo_arch as arch;

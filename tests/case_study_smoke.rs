@@ -52,7 +52,7 @@ fn address_lookup_row_is_insensitive_to_radio_station_burstiness() {
         assert!(
             !report.stats.truncated,
             "column {column:?} truncated ({} states)",
-            report.stats.states_stored
+            report.stats.stored_cumulative
         );
         assert!(
             report.stats.clocks_eliminated > 0,
@@ -88,9 +88,9 @@ fn address_lookup_row_is_insensitive_to_radio_station_burstiness() {
     let ceilings = [5_000usize, 20_000, 20_000, 120_000, 900_000];
     for ((column, report), ceiling) in values.iter().zip(ceilings) {
         assert!(
-            report.stats.states_stored < ceiling,
+            report.stats.stored_cumulative < ceiling,
             "column {column:?}: {} stored states exceeds the ceiling {ceiling}",
-            report.stats.states_stored
+            report.stats.stored_cumulative
         );
     }
 }
@@ -124,14 +124,14 @@ fn bur_column_completes_under_400k_with_the_federation_store() {
     let report = Session::new(&bur, cfg.clone()).unwrap().wcrt(requirement).unwrap();
     assert!(!report.stats.truncated, "bur truncated with the federation store");
     assert!(
-        report.stats.states_stored < 400_000,
+        report.stats.stored_cumulative < 400_000,
         "bur stored {} states — above the old truncation line",
-        report.stats.states_stored
+        report.stats.stored_cumulative
     );
     assert!(
-        report.stats.states_stored < 60_000,
+        report.stats.stored_cumulative < 60_000,
         "bur stored {} states — regression over the measured ~38k",
-        report.stats.states_stored
+        report.stats.stored_cumulative
     );
     assert!(
         report.stats.zones_subsumed_by_union > 0,

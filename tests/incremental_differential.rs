@@ -54,6 +54,14 @@ fn cold_database_matches_fresh_sessions_across_the_corpus() {
     let stats = db.stats();
     assert_eq!(stats.misses, expected_misses, "every cold query must miss");
     assert_eq!(stats.invalidations, 0, "nothing was ever edited");
+    assert!(
+        stats.generation_nanos > 0,
+        "cold misses must accumulate network-generation time"
+    );
+    assert!(
+        stats.exploration_nanos > 0,
+        "cold misses must accumulate exploration time"
+    );
 }
 
 /// A two-subsystem model in which the two requirements' input cones are
@@ -151,4 +159,9 @@ fn noop_edit_invalidates_nothing() {
     assert_eq!(stats.misses, 0);
     assert_eq!(stats.invalidations, 0, "a no-op edit must invalidate nothing");
     assert_eq!(stats.generations, 0);
+    assert_eq!(
+        (stats.generation_nanos, stats.exploration_nanos),
+        (0, 0),
+        "a fully warm run must spend no generation or exploration time"
+    );
 }

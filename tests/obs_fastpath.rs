@@ -1,0 +1,118 @@
+//! Fast-path obligations of the observability layer, and the progress-stream
+//! fields that ride along with it.
+//!
+//! This test binary deliberately never installs a subscriber: the whole
+//! `tempo_obs` layer must then be inert — a full exploration may not dispatch
+//! a single record (asserted through the global dispatch counter and through
+//! subscriber buffers that were constructed but never installed).  The
+//! companion obligation checks that both explorers populate the
+//! [`SearchProgress`] `waiting` / `workers_active` fields.
+
+mod common;
+
+use common::burst_model;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tempo::arch::prelude::*;
+use tempo::check::{ParallelOptions, SearchHook, SearchOptions, SearchProgress};
+use tempo::obs::{JsonlSubscriber, MetricsRegistry};
+
+#[test]
+fn no_subscriber_exploration_dispatches_nothing() {
+    assert!(
+        !tempo::obs::enabled(),
+        "this binary must not install a subscriber: the fast-path assertion \
+         needs the disabled state"
+    );
+    // Construct (but never install) both buffering subscribers: they must
+    // stay empty no matter how much the exploration runs.
+    let registry = Arc::new(MetricsRegistry::new());
+    let jsonl = Arc::new(JsonlSubscriber::new());
+    let before = tempo::obs::dispatch_count();
+
+    let model = burst_model();
+    let session = Session::new(&model, AnalysisConfig::default()).unwrap();
+    let report = session.wcrt(&model.requirements[0].name).unwrap();
+    assert!(report.stats.states_explored > 0, "the fixture must explore");
+
+    assert_eq!(
+        tempo::obs::dispatch_count(),
+        before,
+        "instrumentation dispatched records with no subscriber installed"
+    );
+    assert!(
+        registry.snapshot().is_empty(),
+        "an uninstalled registry must stay empty"
+    );
+    assert!(
+        jsonl.is_empty(),
+        "an uninstalled JSONL subscriber must stay empty"
+    );
+}
+
+fn progress_cfg(
+    progress: Arc<tempo::check::ProgressFn>,
+    parallel: Option<ParallelOptions>,
+) -> AnalysisConfig {
+    AnalysisConfig {
+        search: SearchOptions {
+            hook: SearchHook {
+                progress: Some(progress),
+                progress_every: 8,
+                ..SearchHook::default()
+            },
+            ..SearchOptions::default()
+        },
+        parallel,
+        ..AnalysisConfig::default()
+    }
+}
+
+#[test]
+fn both_explorers_populate_waiting_and_workers_active() {
+    let model = burst_model();
+    for workers in [None, Some(2usize)] {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let max_waiting = Arc::new(AtomicUsize::new(0));
+        let min_active = Arc::new(AtomicUsize::new(usize::MAX));
+        let max_active = Arc::new(AtomicUsize::new(0));
+        let progress: Arc<tempo::check::ProgressFn> = Arc::new({
+            let calls = calls.clone();
+            let max_waiting = max_waiting.clone();
+            let min_active = min_active.clone();
+            let max_active = max_active.clone();
+            move |p: &SearchProgress| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                max_waiting.fetch_max(p.waiting, Ordering::SeqCst);
+                min_active.fetch_min(p.workers_active, Ordering::SeqCst);
+                max_active.fetch_max(p.workers_active, Ordering::SeqCst);
+            }
+        });
+        let cfg = progress_cfg(progress, workers.map(ParallelOptions::with_workers));
+        let label = workers.map_or("sequential".to_string(), |w| format!("parallel({w})"));
+        let session = Session::new(&model, cfg).unwrap();
+        session.wcrt(&model.requirements[0].name).unwrap();
+
+        assert!(
+            calls.load(Ordering::SeqCst) > 0,
+            "{label}: no progress callback fired at stride 8"
+        );
+        assert!(
+            max_waiting.load(Ordering::SeqCst) > 0,
+            "{label}: `waiting` was never reported above zero mid-exploration"
+        );
+        let lo = min_active.load(Ordering::SeqCst);
+        let hi = max_active.load(Ordering::SeqCst);
+        assert!(lo >= 1, "{label}: `workers_active` reported below one");
+        match workers {
+            None => assert_eq!(
+                hi, 1,
+                "the sequential explorer reports exactly one active worker"
+            ),
+            Some(w) => assert!(
+                hi <= w,
+                "{label}: `workers_active` {hi} exceeds the worker count"
+            ),
+        }
+    }
+}

@@ -70,8 +70,8 @@ fn assert_storage_backends_match(model: &ArchitectureModel, requirement: &str) -
             .and_then(|s| s.wcrt(requirement))
             .unwrap_or_else(|e| panic!("{}/{requirement} with {label}: {e}", model.name));
         match label {
-            "flat" => counts.0 = report.stats.states_stored,
-            "federation" => counts.1 = report.stats.states_stored,
+            "flat" => counts.0 = report.stats.stored_cumulative,
+            "federation" => counts.1 = report.stats.stored_cumulative,
             _ => {}
         }
         match &baseline {
@@ -128,13 +128,13 @@ fn assert_requirement_matches(model: &ArchitectureModel, requirement: &str) -> (
     );
     assert_eq!(off.stats.clocks_eliminated, 0);
     assert!(
-        on.stats.states_stored <= off.stats.states_stored,
+        on.stats.stored_cumulative <= off.stats.stored_cumulative,
         "{}/{requirement}: reduction stored more states ({} vs {})",
         model.name,
-        on.stats.states_stored,
-        off.stats.states_stored
+        on.stats.stored_cumulative,
+        off.stats.stored_cumulative
     );
-    (on.stats.states_stored, off.stats.states_stored)
+    (on.stats.stored_cumulative, off.stats.stored_cumulative)
 }
 
 #[test]
@@ -190,7 +190,7 @@ fn fischer_verdicts_and_state_space_match() {
         if reduction {
             assert!(stats.clocks_eliminated > 0, "reduction did not fire on Fischer");
         }
-        sizes.push(stats.states_stored);
+        sizes.push(stats.stored_cumulative);
     }
     assert_eq!(verdicts[0], verdicts[1]);
     assert_eq!(verdicts[0], (false, true));
@@ -235,7 +235,7 @@ fn exact_zone_merging_is_wcrt_preserving() {
             assert_eq!(with.lower_bound, without.lower_bound, "{}/{req}", model.name);
             assert_eq!(without.stats.zones_merged, 0);
             assert!(
-                with.stats.states_stored <= without.stats.states_stored,
+                with.stats.stored_cumulative <= without.stats.stored_cumulative,
                 "{}/{req}: merging stored more states",
                 model.name
             );
