@@ -1,0 +1,286 @@
+//! Serve-throughput benchmark: the PR 7 cache collapse, observed **through
+//! the wire**.  A `tempo_serve` daemon on a loopback port is driven over the
+//! 1024-point sweep workload of `sweep_incremental` — a two-subsystem model
+//! whose `2·grid²` WCRT queries collapse onto `2·grid` distinct cones — and
+//! the numbers land in a machine-readable `BENCH_serve.json`.
+//!
+//! Three phases:
+//!
+//! 1. **cold** — one `edit_model` + full-cover `query_batch` per design
+//!    point; the batch collapses server-side to a single `WcrtAll` run and
+//!    the shared database explores each distinct cone exactly once,
+//! 2. **warm** — the identical batches again (no edits): every answer comes
+//!    from the cache, so what remains is pure wire + lookup latency,
+//! 3. **concurrent** — 1/2/4 clients replaying the warm sweep over separate
+//!    connections, all hitting the one shared database.
+//!
+//! The headline assertion (checked in-binary): on the full grid the warm
+//! repeated-batch sweep is at least **10× faster** than the cold sweep, and
+//! re-explores nothing.  `--quick` (CI) shrinks the grid where exploration
+//! no longer dominates the wire, so only the exactness half is asserted
+//! there, plus a loose no-regression bound.
+//!
+//! Run with `cargo run --release -p tempo_bench --bin serve_throughput`;
+//! flags: `--grid N` (default 32), `--quick` (grid 8 + relaxed assertion),
+//! `--json <path>` (default `BENCH_serve.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+use tempo_arch::engine::Query;
+use tempo_arch::model::{
+    ArchitectureModel, EventModel, MeasurePoint, Requirement, Scenario, SchedulingPolicy, Step,
+};
+use tempo_arch::TimeValue;
+use tempo_serve::json::JsonValue;
+use tempo_serve::{Client, QueryOpts, Server, ServerConfig};
+
+/// The `sweep_incremental` workload: two independent subsystems, so `rA`'s
+/// cone covers only `CPU_A`/`sA` and `rB`'s only `CPU_B`/`sB`.  Jittered
+/// stimuli (on the 1 ms duration grid, so the quantizer tick never moves)
+/// make each cone's exploration heavyweight enough that the cold sweep is
+/// exploration-bound rather than wire-bound.
+fn design_point(name: &str, period_a: i128, period_b: i128) -> ArchitectureModel {
+    let mut m = ArchitectureModel::new(name);
+    for (i, (label, period)) in [("A", period_a), ("B", period_b)].into_iter().enumerate() {
+        let cpu = m.add_processor(
+            format!("CPU_{label}"),
+            1,
+            SchedulingPolicy::FixedPriorityPreemptive,
+        );
+        let sid = m.add_scenario(Scenario {
+            name: format!("s{label}"),
+            stimulus: EventModel::PeriodicJitter {
+                period: TimeValue::millis(period),
+                jitter: TimeValue::millis(16),
+            },
+            priority: i as u32,
+            steps: vec![
+                Step::Execute {
+                    operation: format!("stage1{label}"),
+                    instructions: 1_000, // 1 ms at 1 MIPS
+                    on: cpu,
+                },
+                Step::Execute {
+                    operation: format!("stage2{label}"),
+                    instructions: 3_000, // 3 ms at 1 MIPS
+                    on: cpu,
+                },
+                Step::Execute {
+                    operation: format!("stage3{label}"),
+                    instructions: 2_000, // 2 ms at 1 MIPS
+                    on: cpu,
+                },
+            ],
+        });
+        m.add_requirement(Requirement {
+            name: format!("r{label}"),
+            scenario: sid,
+            from: MeasurePoint::Stimulus,
+            to: MeasurePoint::AfterStep(2),
+            deadline: TimeValue::millis(80),
+        });
+    }
+    m
+}
+
+/// Whole-millisecond period axes starting at 20 ms, as in the in-process
+/// sweep benchmark.
+fn axes(grid: usize) -> Vec<(i128, i128)> {
+    let mut points = Vec::with_capacity(grid * grid);
+    for a in 0..grid as i128 {
+        for b in 0..grid as i128 {
+            points.push((20 + a, 20 + b));
+        }
+    }
+    points
+}
+
+/// Drives one full sweep over `points` on an existing connection: per design
+/// point, optionally an `edit_model`, then the full-cover `[rA, rB]` batch —
+/// which must collapse.  Returns elapsed wall seconds.
+fn sweep<R: std::io::BufRead, W: std::io::Write>(
+    client: &mut Client<R, W>,
+    model_id: &str,
+    points: &[(i128, i128)],
+    edit: bool,
+) -> f64 {
+    let batch = [Query::wcrt("rA"), Query::wcrt("rB")];
+    let start = Instant::now();
+    for &(pa, pb) in points {
+        if edit {
+            let m = design_point(model_id, pa, pb);
+            client
+                .edit_model(&m)
+                .expect("wire")
+                .expect("edit_model accepted");
+        }
+        let result = client
+            .query_batch(model_id, &batch, &QueryOpts::default())
+            .expect("wire")
+            .expect("batch answered");
+        assert_eq!(
+            result.get("batched").and_then(JsonValue::as_bool),
+            Some(true),
+            "full-cover batch must collapse to WcrtAll"
+        );
+        let rows = result
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .expect("results array");
+        assert_eq!(rows.len(), batch.len());
+        for row in rows {
+            assert_eq!(
+                row.get("ok").and_then(JsonValue::as_bool),
+                Some(true),
+                "batch element failed: {row}"
+            );
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Cumulative (hits, misses) summed over the server's shared databases.
+fn db_counters<R: std::io::BufRead, W: std::io::Write>(client: &mut Client<R, W>) -> (i128, i128) {
+    let stats = client.stats().expect("wire").expect("stats");
+    let dbs = stats
+        .get("dbs")
+        .and_then(JsonValue::as_array)
+        .expect("dbs array");
+    let sum = |key: &str| {
+        dbs.iter()
+            .filter_map(|d| d.get("stats")?.get(key)?.as_i128())
+            .sum::<i128>()
+    };
+    (sum("hits"), sum("misses"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let grid = args
+        .iter()
+        .position(|a| a == "--grid")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick { 8 } else { 32 });
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let points = axes(grid);
+    println!(
+        "serve_throughput: {} design points ({grid}×{grid}), {} WCRT queries per sweep{}",
+        points.len(),
+        2 * points.len(),
+        if quick { " [quick]" } else { "" },
+    );
+
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        queue_cap: 64,
+        ..ServerConfig::default()
+    });
+    let (addr, accept) = server.spawn_local().expect("loopback listener");
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .load_model(&design_point("sweep", 20, 20))
+        .expect("wire")
+        .expect("load_model accepted");
+
+    // Cold: every design point edits the model, so the shared database sees
+    // (and explores) each of the 2·grid distinct cones exactly once.
+    let cold_seconds = sweep(&mut client, "sweep", &points, true);
+    let (cold_hits, cold_misses) = db_counters(&mut client);
+    println!(
+        "cold  sweep: {cold_seconds:>8.3}s  (hits {cold_hits}, misses {cold_misses})"
+    );
+
+    // Warm: identical repeated batches, no edits — cache lookups over the
+    // wire.  The final edit of the cold phase left the model at the last
+    // design point, whose cones are warm like every other's.
+    let warm_seconds = sweep(&mut client, "sweep", &points, false);
+    let (total_hits, total_misses) = db_counters(&mut client);
+    let warm_misses = total_misses - cold_misses;
+    println!(
+        "warm  sweep: {warm_seconds:>8.3}s  (hits {}, misses {warm_misses})",
+        total_hits - cold_hits,
+    );
+
+    // Concurrency: 1/2/4 clients replaying the warm sweep over their own
+    // connections and model ids, all against the one shared database.
+    let shared_points = Arc::new(points.clone());
+    let mut concurrency = Vec::new();
+    for clients in [1usize, 2, 4] {
+        let start = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|t| {
+                let pts = shared_points.clone();
+                std::thread::spawn(move || {
+                    let id = format!("sweep-c{clients}-{t}");
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.load_model(&design_point(&id, 20, 20))
+                        .expect("wire")
+                        .expect("load_model accepted");
+                    sweep(&mut c, &id, &pts, false);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let rps = (clients * shared_points.len()) as f64 / secs.max(1e-9);
+        println!("warm, {clients} client(s): {secs:>8.3}s  ({rps:.0} batches/s aggregate)");
+        concurrency.push((clients, secs, rps));
+    }
+
+    let speedup = cold_seconds / warm_seconds.max(1e-9);
+    println!("\nwarm repeated-batch speedup over cold: {speedup:.1}×");
+
+    // The cache-collapse contract, observed through the wire: a warm sweep
+    // re-explores nothing.
+    assert_eq!(warm_misses, 0, "warm sweep must answer every batch from the cache");
+    if quick {
+        // On a tiny grid the wire dominates, so only bound the regression.
+        assert!(
+            warm_seconds <= cold_seconds * 1.5,
+            "warm sweep slower than cold: {warm_seconds:.3}s vs {cold_seconds:.3}s"
+        );
+    } else {
+        assert!(
+            speedup >= 10.0,
+            "warm repeated-batch latency must be ≥10× better than cold, got {speedup:.1}×"
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"grid\": {grid},\n"));
+    json.push_str(&format!("  \"design_points\": {},\n", shared_points.len()));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"cold_seconds\": {cold_seconds:.6},\n"));
+    json.push_str(&format!("  \"warm_seconds\": {warm_seconds:.6},\n"));
+    json.push_str(&format!("  \"warm_speedup\": {speedup:.2},\n"));
+    json.push_str(&format!("  \"cold_misses\": {cold_misses},\n"));
+    json.push_str(&format!("  \"warm_misses\": {warm_misses},\n"));
+    json.push_str("  \"concurrency\": [\n");
+    for (i, (clients, secs, rps)) in concurrency.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {clients}, \"seconds\": {secs:.6}, \"batches_per_sec\": {rps:.1}}}{}\n",
+            if i + 1 == concurrency.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    let mut c = client;
+    c.shutdown().expect("wire").expect("shutdown");
+    drop(c);
+    accept.join().expect("accept loop");
+}

@@ -1,7 +1,7 @@
 //! The analysis driver: generate the timed-automata network for a requirement
 //! and extract its worst-case response time with the model checker.
 
-use crate::engine::{Estimate, Session};
+use crate::engine::Estimate;
 use crate::generator::{generate, GeneratedModel, GeneratorOptions};
 use crate::model::{ArchitectureModel, ModelError, Requirement};
 use crate::time::TimeValue;
@@ -189,51 +189,6 @@ impl fmt::Display for WcrtReport {
     }
 }
 
-/// Analyzes a single requirement of the model and returns its WCRT.
-///
-/// Thin shim over the engine API: equivalent to opening a
-/// [`Session`](crate::engine::Session) and running a single
-/// [`Query::Wcrt`](crate::engine::Query::Wcrt).  Code issuing several queries
-/// against the same model should hold a `Session` instead, which caches the
-/// generated network.
-#[deprecated(
-    since = "0.1.0",
-    note = "open a `Session` and call `wcrt`, or use `incremental::AnalysisDb` \
-            for repeated queries over edited models"
-)]
-pub fn analyze_requirement(
-    model: &ArchitectureModel,
-    requirement_name: &str,
-    cfg: &AnalysisConfig,
-) -> Result<WcrtReport, ArchError> {
-    Session::new(model, cfg.clone())?.wcrt(requirement_name)
-}
-
-/// Analyzes every requirement of the model.
-///
-/// Thin shim over the engine API in its per-requirement mode (one dedicated
-/// network and one report with its own statistics per requirement, exactly
-/// the historical behavior).  A [`Session`](crate::engine::Session) running
-/// [`Query::WcrtAll`](crate::engine::Query::WcrtAll) instead generates a
-/// single multi-observer network and answers every requirement in one
-/// exploration.
-#[deprecated(
-    since = "0.1.0",
-    note = "open a `Session` and call `wcrt_all`.  Historical contract kept by this \
-            shim: one dedicated network and one report with its own exploration \
-            statistics per requirement (`set_batch_wcrt_all(false)`), unlike the \
-            session default, which explores a single batched multi-observer network \
-            whose statistics are shared"
-)]
-pub fn analyze_all(
-    model: &ArchitectureModel,
-    cfg: &AnalysisConfig,
-) -> Result<Vec<WcrtReport>, ArchError> {
-    let mut session = Session::new(model, cfg.clone())?;
-    session.set_batch_wcrt_all(false);
-    session.wcrt_all()
-}
-
 /// Runs the WCRT extraction on an already generated model.
 pub fn analyze_generated(
     generated: &GeneratedModel,
@@ -308,8 +263,9 @@ pub(crate) fn report_from_sup(
 }
 
 /// Reproduces the paper's Property 1 procedure (binary search over `C`) for a
-/// requirement; mainly used to cross-check [`analyze_requirement`] and to
-/// report the number of verification runs the manual method needs.
+/// requirement; mainly used to cross-check the supremum method behind
+/// [`Session::wcrt`](crate::engine::Session::wcrt) and to report the number
+/// of verification runs the manual method needs.
 pub fn analyze_requirement_binary_search(
     model: &ArchitectureModel,
     requirement_name: &str,
@@ -343,30 +299,27 @@ pub fn analyze_requirement_binary_search(
     })
 }
 
-/// Verifies that no event queue can overflow for the given model (a
-/// schedulability-style sanity check): returns `Ok(())` if all queues stay
-/// within capacity, or the offending variable.
-///
-/// Thin shim over the engine API's
-/// [`Query::QueueBounds`](crate::engine::Query::QueueBounds).
-#[deprecated(
-    since = "0.1.0",
-    note = "open a `Session` and call `queue_check` (or run `Query::QueueBounds`)"
-)]
-pub fn check_queues_bounded(
-    model: &ArchitectureModel,
-    cfg: &AnalysisConfig,
-) -> Result<(), ArchError> {
-    Session::new(model, cfg.clone())?.queue_check().map(|_| ())
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // The shim module's own tests exercise the shims.
 mod tests {
     use super::*;
+    use crate::engine::Session;
     use crate::model::{
         EventModel, MeasurePoint, Scenario, SchedulingPolicy, Step,
     };
+
+    /// One-shot WCRT through the engine layer (what the dropped
+    /// `analyze_requirement` shim wrapped).
+    fn wcrt(m: &ArchitectureModel, name: &str) -> Result<WcrtReport, ArchError> {
+        Session::new(m, AnalysisConfig::default())?.wcrt(name)
+    }
+
+    /// One-shot queue-bound check through the engine layer (what the dropped
+    /// `check_queues_bounded` shim wrapped).
+    fn queues_bounded(m: &ArchitectureModel) -> Result<(), ArchError> {
+        Session::new(m, AnalysisConfig::default())?
+            .queue_check()
+            .map(|_| ())
+    }
 
     /// A single periodic task on one processor: WCRT equals its execution
     /// time when the utilisation is low.
@@ -399,7 +352,7 @@ mod tests {
     fn isolated_task_wcrt_equals_wcet() {
         // 2000 instructions at 1 MIPS = 2 ms, period 10 ms.
         let m = single_task_model(10, 2_000);
-        let report = analyze_requirement(&m, "rt", &AnalysisConfig::default()).unwrap();
+        let report = wcrt(&m, "rt").unwrap();
         assert_eq!(report.wcrt, Some(TimeValue::millis(2)));
         assert_eq!(report.meets_deadline, Some(true));
         assert!(report.wcrt_ms().unwrap() > 1.9 && report.wcrt_ms().unwrap() < 2.1);
@@ -409,7 +362,7 @@ mod tests {
     fn binary_search_matches_sup_method() {
         let m = single_task_model(10, 2_000);
         let cfg = AnalysisConfig::default();
-        let sup = analyze_requirement(&m, "rt", &cfg).unwrap();
+        let sup = wcrt(&m, "rt").unwrap();
         let bs = analyze_requirement_binary_search(&m, "rt", &cfg).unwrap();
         assert_eq!(sup.wcrt, bs.wcrt);
     }
@@ -418,19 +371,19 @@ mod tests {
     fn overloaded_resource_reports_queue_overflow() {
         // 20 ms of work every 10 ms: the queue must grow without bound.
         let m = single_task_model(10, 20_000);
-        let err = analyze_requirement(&m, "rt", &AnalysisConfig::default()).unwrap_err();
+        let err = wcrt(&m, "rt").unwrap_err();
         assert!(matches!(err, ArchError::QueueOverflow { .. }), "{err}");
-        assert!(check_queues_bounded(&m, &AnalysisConfig::default()).is_err());
+        assert!(queues_bounded(&m).is_err());
         // The healthy variant passes the queue check.
         let ok = single_task_model(10, 2_000);
-        assert!(check_queues_bounded(&ok, &AnalysisConfig::default()).is_ok());
+        assert!(queues_bounded(&ok).is_ok());
     }
 
     #[test]
     fn unknown_requirement_is_reported() {
         let m = single_task_model(10, 2_000);
         assert!(matches!(
-            analyze_requirement(&m, "nope", &AnalysisConfig::default()),
+            wcrt(&m, "nope"),
             Err(ArchError::UnknownRequirement { .. })
         ));
     }
@@ -484,26 +437,29 @@ mod tests {
 
     #[test]
     fn preemption_shortens_high_priority_response() {
-        let cfg = AnalysisConfig::default();
         // Non-preemptive: hi can be blocked by the full 10 ms of lo => 12 ms.
         let np = two_task_model(SchedulingPolicy::FixedPriorityNonPreemptive);
-        let hi_np = analyze_requirement(&np, "hi-rt", &cfg).unwrap();
+        let hi_np = wcrt(&np, "hi-rt").unwrap();
         assert_eq!(hi_np.wcrt, Some(TimeValue::millis(12)));
         // Preemptive: hi interrupts lo and only ever waits for itself => 2 ms.
         let pre = two_task_model(SchedulingPolicy::FixedPriorityPreemptive);
-        let hi_pre = analyze_requirement(&pre, "hi-rt", &cfg).unwrap();
+        let hi_pre = wcrt(&pre, "hi-rt").unwrap();
         assert_eq!(hi_pre.wcrt, Some(TimeValue::millis(2)));
         // The low-priority task pays for the preemption: its WCRT under
         // preemption is at least as large as under non-preemptive scheduling.
-        let lo_np = analyze_requirement(&np, "lo-rt", &cfg).unwrap();
-        let lo_pre = analyze_requirement(&pre, "lo-rt", &cfg).unwrap();
+        let lo_np = wcrt(&np, "lo-rt").unwrap();
+        let lo_pre = wcrt(&pre, "lo-rt").unwrap();
         assert!(lo_pre.wcrt.unwrap() >= lo_np.wcrt.unwrap());
     }
 
     #[test]
     fn analyze_all_covers_every_requirement() {
         let m = two_task_model(SchedulingPolicy::FixedPriorityNonPreemptive);
-        let reports = analyze_all(&m, &AnalysisConfig::default()).unwrap();
+        // Per-requirement mode: one dedicated network and one report with its
+        // own statistics per requirement (the dropped `analyze_all` contract).
+        let mut session = Session::new(&m, AnalysisConfig::default()).unwrap();
+        session.set_batch_wcrt_all(false);
+        let reports = session.wcrt_all().unwrap();
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.wcrt.is_some()));
         assert!(reports.iter().all(|r| r.meets_deadline == Some(true)));

@@ -28,9 +28,9 @@
 //!   [`Estimate`] — Tables 1/2 of the paper as an API call.
 //!
 //! The pre-existing free functions (`analyze_requirement`, `analyze_all`,
-//! `check_queues_bounded`, and the per-technique `analyze_*`/`simulate`
-//! entry points) remain as thin shims over this surface, so downstream code
-//! keeps compiling while new code targets the engine API.
+//! `check_queues_bounded`, and the per-technique `analyze_*` entry points)
+//! lived on for a while as deprecated shims over this surface and have since
+//! been dropped; the engine API is the only entry point.
 
 use crate::analysis::{analyze_generated, report_from_sup, AnalysisConfig, ArchError, WcrtReport};
 use crate::generator::{generate, generate_measuring, GeneratedModel};
@@ -960,8 +960,8 @@ impl<'m> Session<'m> {
 
     /// Raw form of [`Session::queues_bounded`]: explores the functional
     /// (observer-free) network and surfaces a reachable overflow as the
-    /// [`ArchError::QueueOverflow`] error, like the historical
-    /// `check_queues_bounded` free function (which shims onto this).
+    /// [`ArchError::QueueOverflow`] error, like the historical (since
+    /// dropped) `check_queues_bounded` free function did.
     pub fn queue_check(&self) -> Result<tempo_check::ExplorationStats, ArchError> {
         self.queue_check_with(&self.cfg)
     }

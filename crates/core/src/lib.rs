@@ -71,8 +71,6 @@ pub mod model;
 pub mod time;
 pub mod transform;
 
-#[allow(deprecated)]
-pub use analysis::{analyze_all, analyze_requirement, check_queues_bounded};
 pub use analysis::{
     analyze_generated, analyze_requirement_binary_search, AnalysisConfig, ArchError, EntityKind,
     WcrtReport,
@@ -94,8 +92,6 @@ pub use transform::fragment_transfers;
 
 /// Convenient glob import for examples and downstream users.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::analysis::{analyze_all, analyze_requirement};
     pub use crate::analysis::{analyze_requirement_binary_search, AnalysisConfig, WcrtReport};
     pub use crate::incremental::{AnalysisDb, DbStats};
     pub use crate::casestudy::{

@@ -170,24 +170,9 @@ fn step_delay(
         .delay_bound_us()
 }
 
-/// Analyzes one requirement and returns the MPA end-to-end bound.
-///
-/// Prefer the engine seam: [`RtcEngine`](crate::RtcEngine) behind
-/// [`tempo_arch::engine::Engine`] answers the same query with typed
-/// estimates.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `RtcEngine` through the `tempo_arch::engine::Engine` API"
-)]
-pub fn analyze_requirement(
-    model: &ArchitectureModel,
-    requirement_name: &str,
-) -> Result<RtcReport, RtcError> {
-    analyze_requirement_impl(model, requirement_name)
-}
-
-/// The non-deprecated body of [`analyze_requirement`], shared with
-/// [`RtcEngine`](crate::RtcEngine).
+/// Analyzes one requirement and returns the MPA end-to-end bound; the body
+/// behind [`RtcEngine`](crate::RtcEngine), which answers the same query with
+/// typed estimates through the `tempo_arch::engine::Engine` seam.
 pub(crate) fn analyze_requirement_impl(
     model: &ArchitectureModel,
     requirement_name: &str,
@@ -226,18 +211,8 @@ pub(crate) fn analyze_requirement_impl(
     })
 }
 
-/// Analyzes every requirement of the model.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `RtcEngine` through the `tempo_arch::engine::Engine` API \
-            (`Query::WcrtAll`)"
-)]
-pub fn analyze_all(model: &ArchitectureModel) -> Result<Vec<RtcReport>, RtcError> {
-    analyze_all_impl(model)
-}
-
-/// The non-deprecated body of [`analyze_all`], shared with
-/// [`RtcEngine`](crate::RtcEngine).
+/// Analyzes every requirement of the model; the body behind
+/// [`RtcEngine`](crate::RtcEngine)'s `Query::WcrtAll`.
 pub(crate) fn analyze_all_impl(model: &ArchitectureModel) -> Result<Vec<RtcReport>, RtcError> {
     model
         .requirements

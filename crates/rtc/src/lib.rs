@@ -13,10 +13,10 @@
 //!   `α⁺` and `β⁻` it bounds the delay (horizontal deviation), the backlog
 //!   (vertical deviation) and produces the remaining service for
 //!   lower-priority components (fixed-priority resource sharing),
-//! * [`analyze_requirement`] — end-to-end latency bound for a requirement of
-//!   a [`tempo_arch::ArchitectureModel`], obtained by chaining greedy
-//!   processing components along the scenario's steps and summing their delay
-//!   bounds.
+//! * [`RtcEngine`] — end-to-end latency bounds for the requirements of a
+//!   [`tempo_arch::ArchitectureModel`], obtained by chaining greedy
+//!   processing components along each scenario's steps and summing their
+//!   delay bounds, served through the `tempo_arch::engine::Engine` seam.
 //!
 //! As the paper notes, the transformation into the time-interval domain loses
 //! the correlation between streams (e.g. the phase between two periodic
@@ -31,8 +31,6 @@ mod component;
 mod analysis;
 mod engine;
 
-#[allow(deprecated)]
-pub use analysis::{analyze_all, analyze_requirement};
 pub use analysis::{RtcError, RtcReport};
 pub use component::GreedyProcessingComponent;
 pub use curves::{ArrivalCurve, ServiceCurve};

@@ -1,0 +1,134 @@
+//! Property-based round-trip tests for the protocol's JSON layer:
+//! `parse(print(v))` must reconstruct any (finite-float) value exactly, and
+//! the canonical printer must be a fixed point of `print ∘ parse`.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tempo_serve::json::{parse, JsonValue};
+
+/// Strings mixing plain text with every escape class the printer handles.
+fn json_string() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("plain".to_string()),
+        Just("with \"quotes\" and \\backslash\\".to_string()),
+        Just("line\nbreak\ttab\rreturn".to_string()),
+        Just("control \u{0001}\u{001f} chars".to_string()),
+        Just("unicode: żółć — 🦀 ✓".to_string()),
+        Just("slash / and null \u{0000} byte".to_string()),
+        "[a-zA-Z0-9_ ]{0,12}",
+    ]
+    .boxed()
+}
+
+/// Integers spanning the exact `i128` range the wire relies on (`TimeValue`
+/// numerators, cone hashes).
+fn json_int() -> BoxedStrategy<i128> {
+    prop_oneof![
+        Just(0i128),
+        Just(i128::MAX),
+        Just(i128::MIN),
+        Just(u64::MAX as i128),
+        Just(-(u64::MAX as i128)),
+        (-1_000_000_000i64..1_000_000_000).prop_map(|v| v as i128),
+    ]
+    .boxed()
+}
+
+/// Finite floats only (JSON cannot carry NaN/∞); dyadic rationals print and
+/// re-parse exactly under shortest-representation formatting.
+fn json_float() -> BoxedStrategy<f64> {
+    prop_oneof![
+        Just(0.5f64),
+        Just(-2.25f64),
+        Just(1.0e30f64),
+        Just(-1.5e-12f64),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+        Just(-0.0f64),
+        Just(3.0f64),
+        (-1_000_000i64..1_000_000).prop_map(|v| v as f64 / 64.0),
+    ]
+    .boxed()
+}
+
+fn json_leaf() -> BoxedStrategy<JsonValue> {
+    prop_oneof![
+        Just(JsonValue::Null),
+        Just(JsonValue::Bool(true)),
+        Just(JsonValue::Bool(false)),
+        json_int().prop_map(JsonValue::Int),
+        json_float().prop_map(JsonValue::Float),
+        json_string().prop_map(JsonValue::Str),
+    ]
+    .boxed()
+}
+
+fn json_value() -> BoxedStrategy<JsonValue> {
+    json_leaf()
+        .prop_recursive(4, 48, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..5).prop_map(JsonValue::Array),
+                prop::collection::vec((json_string(), inner), 0..5).prop_map(|pairs| {
+                    JsonValue::Object(pairs.into_iter().collect::<BTreeMap<_, _>>())
+                }),
+            ]
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse ∘ print` is the identity on finite-float values.
+    #[test]
+    fn print_then_parse_is_identity(v in json_value()) {
+        let text = v.print();
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e:?}\n--- printed ---\n{text}"));
+        prop_assert_eq!(&v, &back, "printed text:\n{}", text);
+    }
+
+    /// The canonical printer is a fixed point: `print(parse(print(v)))`
+    /// equals `print(v)` byte for byte — the property the serve differential's
+    /// answer keys rely on.
+    #[test]
+    fn printing_is_canonical(v in json_value()) {
+        let text = v.print();
+        let reprinted = parse(&text).unwrap().print();
+        prop_assert_eq!(text, reprinted);
+    }
+
+    /// The `Int`/`Float` distinction survives: integral floats print with a
+    /// fraction and come back as floats, never as ints.
+    #[test]
+    fn integral_floats_stay_floats(i in -1_000_000i64..1_000_000) {
+        let v = JsonValue::Float(i as f64);
+        let back = parse(&v.print()).unwrap();
+        prop_assert_eq!(back, v);
+        let w = JsonValue::Int(i as i128);
+        let back = parse(&w.print()).unwrap();
+        prop_assert_eq!(back, w);
+    }
+}
+
+/// Deterministic regressions: inputs whose printed form exercises escape
+/// sequences, nesting, and large magnitudes at once.
+#[test]
+fn kitchen_sink_round_trips() {
+    let v = JsonValue::obj([
+        ("empty", JsonValue::object()),
+        (
+            "nested",
+            JsonValue::Array(vec![
+                JsonValue::Null,
+                JsonValue::obj([("k\n", JsonValue::Int(i128::MIN))]),
+                JsonValue::Array(vec![JsonValue::Float(-0.0), JsonValue::Str("🦀".into())]),
+            ]),
+        ),
+        ("big", JsonValue::Int(i128::MAX)),
+    ]);
+    let text = v.print();
+    assert_eq!(parse(&text).unwrap(), v);
+    assert_eq!(parse(&text).unwrap().print(), text);
+}

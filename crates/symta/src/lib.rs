@@ -111,24 +111,9 @@ struct SystemTask {
 }
 
 /// Analyzes one requirement of the model and returns a conservative
-/// end-to-end WCRT bound.
-///
-/// Prefer the engine seam: [`SymtaEngine`] behind
-/// [`tempo_arch::engine::Engine`] answers the same query with typed
-/// estimates.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `SymtaEngine` through the `tempo_arch::engine::Engine` API"
-)]
-pub fn analyze_requirement(
-    model: &ArchitectureModel,
-    requirement_name: &str,
-) -> Result<SymtaReport, SymtaError> {
-    analyze_requirement_impl(model, requirement_name)
-}
-
-/// The non-deprecated body of [`analyze_requirement`], shared with
-/// [`SymtaEngine`].
+/// end-to-end WCRT bound; the body behind [`SymtaEngine`], which answers the
+/// same query with typed estimates through the `tempo_arch::engine::Engine`
+/// seam.
 pub(crate) fn analyze_requirement_impl(
     model: &ArchitectureModel,
     requirement_name: &str,
@@ -157,17 +142,8 @@ pub(crate) fn analyze_requirement_impl(
     })
 }
 
-/// Analyzes every requirement of the model.
-#[deprecated(
-    since = "0.1.0",
-    note = "run `SymtaEngine` through the `tempo_arch::engine::Engine` API \
-            (`Query::WcrtAll`)"
-)]
-pub fn analyze_all(model: &ArchitectureModel) -> Result<Vec<SymtaReport>, SymtaError> {
-    analyze_all_impl(model)
-}
-
-/// The non-deprecated body of [`analyze_all`], shared with [`SymtaEngine`].
+/// Analyzes every requirement of the model; the body behind [`SymtaEngine`]'s
+/// `Query::WcrtAll`.
 pub(crate) fn analyze_all_impl(model: &ArchitectureModel) -> Result<Vec<SymtaReport>, SymtaError> {
     model
         .requirements

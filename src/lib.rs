@@ -197,6 +197,73 @@
 //! [`obs::ChromeTraceSubscriber`] exports an `about:tracing` / Perfetto
 //! timeline.  The `trace_explore` bench binary runs a Table 1 column under
 //! each and writes `BENCH_trace.json` with the phase-time breakdown.
+//!
+//! ## Serving: analysis as a service
+//!
+//! [`tempo_serve`] (re-exported as [`serve`]) wraps the analysis database in
+//! a long-lived daemon (`tempo-serve`) speaking one JSON object per line
+//! over stdin/stdout or TCP — no external dependencies, the JSON layer is
+//! its own property-tested parser/printer pair.  One shared
+//! [`AnalysisDb`](arch::incremental::AnalysisDb) per analysis configuration
+//! outlives individual requests, so repeated and concurrent clients hit warm
+//! input cones; `query_batch` collapses to a single batched `WcrtAll`
+//! exploration when the batch covers a model's requirement set.  Admission
+//! is controlled (bounded worker pool + queue, typed `overloaded` rejection,
+//! cancellation by request id), long runs stream tagged `progress` frames,
+//! and every [`EngineError`](arch::engine::EngineError) crosses the wire as
+//! a typed error — the robustness contract (never wrong; only slower,
+//! looser, or explicitly declined) holds end to end, which
+//! `tests/serve_differential.rs` checks byte-for-byte against direct
+//! [`AnalysisDb::run`](arch::incremental::AnalysisDb::run) answers, under
+//! concurrency and injected faults:
+//!
+//! ```
+//! use std::io::BufReader;
+//! use tempo::arch::prelude::*;
+//! use tempo::serve::{Client, Server, ServerConfig};
+//!
+//! # let mut model = ArchitectureModel::new("served");
+//! # let cpu = model.add_processor("CPU", 100, SchedulingPolicy::FixedPriorityPreemptive);
+//! # let s = model.add_scenario(Scenario {
+//! #     name: "control".into(),
+//! #     stimulus: EventModel::Periodic { period: TimeValue::millis(5) },
+//! #     priority: 0,
+//! #     steps: vec![Step::Execute { operation: "loop".into(), instructions: 100_000, on: cpu }],
+//! # });
+//! # model.add_requirement(Requirement {
+//! #     name: "control latency".into(),
+//! #     scenario: s,
+//! #     from: MeasurePoint::Stimulus,
+//! #     to: MeasurePoint::AfterStep(0),
+//! #     deadline: TimeValue::millis(5),
+//! # });
+//! // The same transport shape as `tempo-serve --stdio`: a pipe pair.
+//! let (c2s_r, c2s_w) = std::io::pipe().unwrap();
+//! let (s2c_r, s2c_w) = std::io::pipe().unwrap();
+//! let server = Server::new(ServerConfig::default());
+//! let handle = server.handle();
+//! let conn = std::thread::spawn(move || {
+//!     handle.serve_connection(BufReader::new(c2s_r), s2c_w);
+//! });
+//!
+//! let mut client = Client::over(BufReader::new(s2c_r), c2s_w);
+//! client.load_model(&model).unwrap().unwrap();
+//! let report = client
+//!     .query("served", &Query::wcrt("control latency"), &Default::default())
+//!     .unwrap()
+//!     .unwrap();
+//! assert_eq!(
+//!     report.get("engine").and_then(|e| e.as_str()),
+//!     Some("incremental"),
+//! );
+//! client.shutdown().unwrap().unwrap();
+//! conn.join().unwrap();
+//! ```
+//!
+//! The `serve_throughput` bench binary drives a loopback daemon over the
+//! 1024-point sweep workload and asserts the warm pass (all cache hits) is
+//! at least an order of magnitude faster than the cold pass, writing
+//! `BENCH_serve.json`.
 #![forbid(unsafe_code)]
 
 /// Difference bound matrices (clock zones).
@@ -217,6 +284,10 @@ pub use tempo_rtc as rtc;
 pub use tempo_symta as symta;
 /// Discrete-event simulation baseline.
 pub use tempo_sim as sim;
+/// Analysis-as-a-service daemon: line-oriented JSON protocol, admission
+/// control, progress streaming and cache-aware batching over the analysis
+/// database.
+pub use tempo_serve as serve;
 
 /// The unified engine API with every technique's [`Engine`](engine::Engine)
 /// in one place, plus the standard cross-checking portfolio.
